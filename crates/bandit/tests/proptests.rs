@@ -1,0 +1,104 @@
+//! Property-based tests for the bandit substrate: budget safety, state
+//! sanity and Hedge invariants under arbitrary interaction sequences.
+
+use crowdlearn_bandit::{
+    BanditConfig, CostedBandit, EpsilonGreedy, Exp3, ExpWeights, RandomPolicy, ThompsonSampling,
+    UcbAlp,
+};
+use proptest::prelude::*;
+
+fn run_policy(
+    mut policy: Box<dyn CostedBandit>,
+    contexts: usize,
+    costs: &[f64],
+    rounds: u64,
+    payoffs: &[f64],
+) -> (f64, f64) {
+    let mut spent = 0.0;
+    for r in 0..rounds {
+        let ctx = (r % contexts as u64) as usize;
+        if let Some(a) = policy.select(ctx) {
+            spent += costs[a];
+            let payoff = payoffs[(r as usize + a) % payoffs.len()];
+            policy.observe(ctx, a, payoff);
+        }
+    }
+    (spent, policy.remaining_budget())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No policy ever spends more than its budget, and the ledger always
+    /// accounts exactly for what was spent.
+    #[test]
+    fn no_policy_overspends(
+        seed in 0u64..5_000,
+        budget in 0.5f64..80.0,
+        rounds in 1u64..120,
+        c1 in 0.5f64..3.0,
+        c2 in 0.5f64..6.0,
+        c3 in 0.5f64..12.0,
+        payoffs in proptest::collection::vec(0.0f64..1.0, 3..12),
+    ) {
+        let costs = vec![c1, c2, c3];
+        let mk = || BanditConfig::new(3, costs.clone(), budget, rounds);
+        let policies: Vec<Box<dyn CostedBandit>> = vec![
+            Box::new(UcbAlp::new(mk(), seed)),
+            Box::new(EpsilonGreedy::new(mk(), 0.3, seed)),
+            Box::new(ThompsonSampling::new(mk(), seed)),
+            Box::new(Exp3::new(mk(), 0.2, seed)),
+            Box::new(RandomPolicy::new(mk(), seed)),
+        ];
+        for policy in policies {
+            let (spent, remaining) = run_policy(policy, 3, &costs, rounds, &payoffs);
+            prop_assert!(spent <= budget + 1e-6, "spent {spent} of {budget}");
+            prop_assert!((remaining - (budget - spent)).abs() < 1e-6);
+            prop_assert!(remaining >= -1e-9);
+        }
+    }
+
+    /// With a known uniform context distribution, UCB-ALP accepts any
+    /// declared simplex point and still never overspends.
+    #[test]
+    fn ucb_alp_with_declared_distribution_is_budget_safe(
+        seed in 0u64..5_000,
+        w in 0.05f64..0.95,
+    ) {
+        let dist = vec![w, 1.0 - w];
+        let config = BanditConfig::new(2, vec![1.0, 4.0], 30.0, 40)
+            .with_context_distribution(dist);
+        let policy: Box<dyn CostedBandit> = Box::new(UcbAlp::new(config, seed));
+        let (spent, _) = run_policy(policy, 2, &[1.0, 4.0], 40, &[0.2, 0.8]);
+        prop_assert!(spent <= 30.0 + 1e-6);
+    }
+
+    /// Hedge weights remain a probability vector under arbitrary loss
+    /// sequences, and a uniformly better expert never ends with less weight.
+    #[test]
+    fn hedge_is_a_probability_vector(
+        eta in 0.01f64..3.0,
+        losses in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..60),
+    ) {
+        let mut hedge = ExpWeights::new(2, eta);
+        for (a, b) in &losses {
+            // Expert 0 always incurs at most expert 1's loss.
+            let la = a.min(*b);
+            hedge.update(&[la, *b]);
+        }
+        let w = hedge.weights();
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(w[0] >= w[1] - 1e-9, "dominant expert lost weight: {w:?}");
+    }
+
+    /// Policies are deterministic given their seed and the payoff sequence.
+    #[test]
+    fn policies_are_reproducible(seed in 0u64..5_000) {
+        let costs = vec![1.0, 2.0];
+        let payoffs = vec![0.3, 0.9, 0.5];
+        let mk = || BanditConfig::new(2, costs.clone(), 40.0, 50);
+        let a = run_policy(Box::new(UcbAlp::new(mk(), seed)), 2, &costs, 50, &payoffs);
+        let b = run_policy(Box::new(UcbAlp::new(mk(), seed)), 2, &costs, 50, &payoffs);
+        prop_assert_eq!(a, b);
+    }
+}

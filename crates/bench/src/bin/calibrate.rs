@@ -1,0 +1,27 @@
+//! Multi-seed calibration sweep: reports mean ± std of every Table II
+//! metric across dataset/scheme seeds, so simulator constants can be tuned
+//! against means instead of single-run noise.
+
+use crowdlearn_bench::Fixture;
+use crowdlearn_metrics::SummaryStats;
+
+fn main() {
+    let seeds: Vec<u64> = (0..4).collect();
+    let names = crowdlearn_bench::paper_reference::SCHEMES;
+    let mut acc: Vec<SummaryStats> = (0..7).map(|_| SummaryStats::new()).collect();
+    for &s in &seeds {
+        let fixture = if s == 0 {
+            Fixture::paper_default()
+        } else {
+            Fixture::paper(s)
+        };
+        let reports = fixture.run_all_schemes();
+        for (stats, r) in acc.iter_mut().zip(&reports) {
+            stats.push(r.accuracy());
+        }
+    }
+    println!("{:<12} {:>8} {:>8}", "scheme", "mean", "std");
+    for (name, stats) in names.iter().zip(&acc) {
+        println!("{:<12} {:>8.3} {:>8.3}", name, stats.mean(), stats.std_dev());
+    }
+}

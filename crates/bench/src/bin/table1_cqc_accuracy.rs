@@ -1,0 +1,132 @@
+//! Regenerates **Table I**: aggregated label accuracy of CQC vs Voting vs
+//! TD-EM vs Filtering, per temporal context and overall.
+//!
+//! Workload: the same kind of crowd queries the live system issues — test
+//! images submitted at mid incentives — grouped by the temporal context they
+//! were answered in. CQC is trained on training-split responses exactly as
+//! the live system trains it.
+
+use crowdlearn::QualityController;
+use crowdlearn_bench::{banner, paper_reference, Fixture};
+use crowdlearn_crowd::{IncentiveLevel, Platform, PlatformConfig, QueryResponse};
+use crowdlearn_dataset::{DamageLabel, SyntheticImage, TemporalContext};
+use crowdlearn_truth::{
+    Aggregator, Annotation, DawidSkeneEm, MajorityVoting, WorkerFiltering,
+};
+
+const QUERIES_PER_CONTEXT: usize = 100;
+
+fn main() {
+    banner(
+        "Table I: Aggregated Label Accuracy",
+        "CQC 0.9350 overall, >= 5.75 points above the best alternative (Filtering 0.8775)",
+    );
+
+    let fixture = Fixture::paper_default();
+    let mut platform = Platform::new(PlatformConfig::paper().with_seed(0x7ab1e));
+
+    // Train CQC on training-split responses (truth known), as in the system
+    // bootstrap.
+    let mut cqc = QualityController::paper();
+    let train_examples: Vec<(QueryResponse, DamageLabel)> = (0..1120)
+        .map(|i| {
+            let img = &fixture.dataset.train()[i % fixture.dataset.train().len()];
+            let ctx = TemporalContext::from_index(i % TemporalContext::COUNT);
+            let level = IncentiveLevel::from_index((i / 3) % IncentiveLevel::COUNT);
+            (platform.submit(img, level, ctx), img.truth())
+        })
+        .collect();
+    cqc.train(&train_examples);
+
+    // Evaluation responses per context over test images.
+    let mut responses: Vec<Vec<(&SyntheticImage, QueryResponse)>> = Vec::new();
+    for ctx in TemporalContext::ALL {
+        let mut batch = Vec::with_capacity(QUERIES_PER_CONTEXT);
+        for q in 0..QUERIES_PER_CONTEXT {
+            let img = &fixture.dataset.test()[(q + ctx.index() * QUERIES_PER_CONTEXT)
+                % fixture.dataset.test().len()];
+            batch.push((img, platform.submit(img, IncentiveLevel::C6, ctx)));
+        }
+        responses.push(batch);
+    }
+
+    // Aggregation schemes. Filtering and TD-EM consume raw annotations.
+    let accuracy_of = |scheme: &str, per_ctx: &dyn Fn(usize) -> f64| {
+        let per: Vec<f64> = (0..TemporalContext::COUNT).map(per_ctx).collect();
+        let overall = per.iter().sum::<f64>() / per.len() as f64;
+        (scheme.to_owned(), per, overall)
+    };
+
+    let cqc_rows = accuracy_of("CQC", &|c| {
+        let batch = &responses[c];
+        batch
+            .iter()
+            .filter(|(img, resp)| cqc.truthful_label(resp) == img.truth())
+            .count() as f64
+            / batch.len() as f64
+    });
+
+    let aggregate_with = |aggregator: &mut dyn Aggregator, c: usize| -> f64 {
+        let batch = &responses[c];
+        let annotations: Vec<Annotation> = batch
+            .iter()
+            .enumerate()
+            .flat_map(|(item, (_, resp))| {
+                resp.responses
+                    .iter()
+                    .map(move |r| Annotation::new(r.worker, item, r.label.index()))
+            })
+            .collect();
+        let estimates = aggregator.aggregate(&annotations, batch.len(), DamageLabel::COUNT);
+        estimates
+            .iter()
+            .zip(batch)
+            .filter(|(est, (img, _))| est.label() == img.truth().index())
+            .count() as f64
+            / batch.len() as f64
+    };
+
+    let voting_rows = accuracy_of("Voting", &|c| aggregate_with(&mut MajorityVoting, c));
+    let tdem_rows = accuracy_of("TD-EM", &|c| aggregate_with(&mut DawidSkeneEm::default(), c));
+    // Filtering needs worker history before it can blacklist anyone: give it
+    // one ungraded pass over all four context batches (the live system would
+    // have accumulated the same history during earlier cycles), then score.
+    let mut filtering = WorkerFiltering::paper_default();
+    for c in 0..TemporalContext::COUNT {
+        let _ = aggregate_with(&mut filtering, c);
+    }
+    let blacklisted = filtering.blacklisted_count();
+    let filtering_rows = accuracy_of("Filtering", &|c| {
+        aggregate_with(&mut filtering.clone(), c)
+    });
+
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}   (paper overall)",
+        "Scheme", "Morning", "Afternoon", "Evening", "Midnight", "Overall"
+    );
+    let rows = [cqc_rows, voting_rows, tdem_rows, filtering_rows];
+    for ((name, per, overall), (paper_name, paper_vals)) in
+        rows.iter().zip(paper_reference::TABLE1.iter())
+    {
+        assert_eq!(name, paper_name);
+        println!(
+            "{:<10} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}   ({:.4})",
+            name, per[0], per[1], per[2], per[3], overall, paper_vals[4]
+        );
+    }
+    println!("(Filtering blacklisted {blacklisted} workers from its history pass)");
+
+    let cqc_overall = rows[0].2;
+    let best_other = rows[1..].iter().map(|r| r.2).fold(f64::NEG_INFINITY, f64::max);
+    println!();
+    println!(
+        "Shape check: CQC {:.3} vs best alternative {:.3} ({:+.2} points; paper reports +5.75)",
+        cqc_overall,
+        best_other,
+        100.0 * (cqc_overall - best_other)
+    );
+    assert!(
+        cqc_overall > best_other,
+        "shape violation: CQC must lead Table I"
+    );
+}

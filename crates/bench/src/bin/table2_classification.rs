@@ -1,0 +1,69 @@
+//! Regenerates **Table II**: classification Accuracy / Precision / Recall /
+//! F1 for all seven schemes over the 40-cycle evaluation stream.
+
+use crowdlearn_bench::{banner, paper_reference, Fixture};
+use crowdlearn_metrics::mcnemar_test;
+
+fn main() {
+    banner(
+        "Table II: Classification Accuracy for All Schemes",
+        "CrowdLearn 0.877 acc / 0.894 F1; +5.3% F1 over best baseline (Hybrid-AL)",
+    );
+
+    let fixture = Fixture::paper_default();
+    let reports = fixture.run_all_schemes();
+
+    println!(
+        "{:<12} {:>22} {:>22} {:>22} {:>22}",
+        "Scheme", "Accuracy", "Precision", "Recall", "F1"
+    );
+    for (report, (name, (acc, prec, rec, f1))) in reports.iter().zip(
+        paper_reference::SCHEMES
+            .iter()
+            .zip(paper_reference::TABLE2.iter()),
+    ) {
+        println!(
+            "{:<12} {:>22} {:>22} {:>22} {:>22}",
+            name,
+            format!("{:.3} (paper {:.3})", report.accuracy(), acc),
+            format!("{:.3} (paper {:.3})", report.confusion.macro_precision(), prec),
+            format!("{:.3} (paper {:.3})", report.confusion.macro_recall(), rec),
+            format!("{:.3} (paper {:.3})", report.macro_f1(), f1),
+        );
+    }
+
+    // Paired significance of CrowdLearn's lead over every baseline
+    // (McNemar over the shared 400-image stream).
+    println!();
+    println!("McNemar vs CrowdLearn (same 400 test images):");
+    let crowdlearn_correct = reports[0].correctness();
+    for (report, name) in reports[1..].iter().zip(&paper_reference::SCHEMES[1..]) {
+        let out = mcnemar_test(&crowdlearn_correct, &report.correctness());
+        println!(
+            "  vs {:<12} CrowdLearn-only wins {:>3}, {}-only wins {:>3}, p = {:.4} {}",
+            name,
+            out.a_only,
+            name,
+            out.b_only,
+            out.p_value,
+            if out.significant(0.05) { "(significant)" } else { "" }
+        );
+    }
+
+    let crowdlearn_f1 = reports[0].macro_f1();
+    let best_baseline_f1 = reports[1..]
+        .iter()
+        .map(|r| r.macro_f1())
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!();
+    println!(
+        "Shape check: CrowdLearn F1 {:.3} vs best baseline F1 {:.3} ({:+.1}%; paper reports +5.3%)",
+        crowdlearn_f1,
+        best_baseline_f1,
+        100.0 * (crowdlearn_f1 - best_baseline_f1) / best_baseline_f1
+    );
+    assert!(
+        crowdlearn_f1 > best_baseline_f1,
+        "shape violation: CrowdLearn must lead Table II"
+    );
+}

@@ -1,0 +1,288 @@
+//! Probability distributions over damage classes — the "expert vote" type.
+
+use crowdlearn_dataset::DamageLabel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A normalized probability distribution over the [`DamageLabel`] classes.
+///
+/// This is the paper's *expert vote* (Definition 6): "a probabilistic
+/// distribution of all possible class labels estimated by the algorithm". It
+/// is also the committee-vote type (Eq. 2) and the truthful-label
+/// distribution produced by CQC that Eq. 5 compares against.
+///
+/// Invariant: entries are finite, non-negative, and sum to 1 (within
+/// floating-point tolerance). All constructors enforce this.
+///
+/// # Example
+///
+/// ```
+/// use crowdlearn_classifiers::ClassDistribution;
+/// use crowdlearn_dataset::DamageLabel;
+///
+/// let d = ClassDistribution::from_logits([0.0, 1.0, 2.0]);
+/// assert_eq!(d.argmax(), DamageLabel::Severe);
+/// assert!(d.entropy() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDistribution {
+    probs: [f64; DamageLabel::COUNT],
+}
+
+impl ClassDistribution {
+    /// The uniform distribution (maximum uncertainty).
+    pub fn uniform() -> Self {
+        Self {
+            probs: [1.0 / DamageLabel::COUNT as f64; DamageLabel::COUNT],
+        }
+    }
+
+    /// A point mass on `label`.
+    pub fn delta(label: DamageLabel) -> Self {
+        let mut probs = [0.0; DamageLabel::COUNT];
+        probs[label.index()] = 1.0;
+        Self { probs }
+    }
+
+    /// Softmax over raw logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any logit is NaN.
+    pub fn from_logits(logits: [f64; DamageLabel::COUNT]) -> Self {
+        assert!(logits.iter().all(|l| !l.is_nan()), "logits must not be NaN");
+        let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut probs = [0.0; DamageLabel::COUNT];
+        let mut sum = 0.0;
+        for (p, &l) in probs.iter_mut().zip(&logits) {
+            *p = (l - max).exp();
+            sum += *p;
+        }
+        for p in &mut probs {
+            *p /= sum;
+        }
+        Self { probs }
+    }
+
+    /// Builds from raw non-negative weights, normalizing to sum 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative/NaN or all weights are zero.
+    pub fn from_weights(weights: [f64; DamageLabel::COUNT]) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "at least one weight must be positive");
+        let mut probs = weights;
+        for p in &mut probs {
+            *p /= sum;
+        }
+        Self { probs }
+    }
+
+    /// The probability vector, indexed by [`DamageLabel::index`].
+    pub fn probs(&self) -> &[f64; DamageLabel::COUNT] {
+        &self.probs
+    }
+
+    /// Probability of a specific label.
+    pub fn prob(&self, label: DamageLabel) -> f64 {
+        self.probs[label.index()]
+    }
+
+    /// The most probable label (ties broken toward the lower class index,
+    /// i.e. the less severe label).
+    pub fn argmax(&self) -> DamageLabel {
+        let mut best = 0;
+        for i in 1..DamageLabel::COUNT {
+            if self.probs[i] > self.probs[best] {
+                best = i;
+            }
+        }
+        DamageLabel::from_index(best)
+    }
+
+    /// Confidence of the argmax label.
+    pub fn max_prob(&self) -> f64 {
+        self.probs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Shannon entropy in nats (Eq. 3 applies this to the committee vote).
+    /// Zero-probability entries contribute zero.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// KL divergence `KL(self || other)` in nats, with epsilon smoothing so
+    /// point masses stay finite.
+    pub fn kl_divergence(&self, other: &ClassDistribution) -> f64 {
+        const EPS: f64 = 1e-9;
+        self.probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(&p, &q)| {
+                let p = p.max(EPS);
+                let q = q.max(EPS);
+                p * (p / q).ln()
+            })
+            .sum()
+    }
+
+    /// Symmetric KL divergence `KL(p||q) + KL(q||p)` — the discrepancy used
+    /// by the MIC loss function (Eq. 5).
+    pub fn symmetric_kl(&self, other: &ClassDistribution) -> f64 {
+        self.kl_divergence(other) + other.kl_divergence(self)
+    }
+
+    /// Weighted mixture of distributions — the committee vote of Eq. 2,
+    /// "the weighted sum of the label distributions of all committee
+    /// members … further normalized with a sum of 1".
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch, the iterator is empty, any weight is
+    /// negative, or all weights are zero.
+    pub fn weighted_mixture<'a, I>(votes: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, &'a ClassDistribution)>,
+    {
+        let mut acc = [0.0; DamageLabel::COUNT];
+        let mut total_weight = 0.0;
+        let mut any = false;
+        for (w, dist) in votes {
+            assert!(w.is_finite() && w >= 0.0, "mixture weights must be >= 0");
+            for (a, &p) in acc.iter_mut().zip(&dist.probs) {
+                *a += w * p;
+            }
+            total_weight += w;
+            any = true;
+        }
+        assert!(any, "mixture needs at least one component");
+        assert!(total_weight > 0.0, "at least one weight must be positive");
+        Self::from_weights(acc)
+    }
+}
+
+impl Default for ClassDistribution {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+impl fmt::Display for ClassDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[none={:.3}, moderate={:.3}, severe={:.3}]",
+            self.probs[0], self.probs[1], self.probs[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_max_entropy() {
+        let u = ClassDistribution::uniform();
+        assert!((u.entropy() - (DamageLabel::COUNT as f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_has_zero_entropy() {
+        let d = ClassDistribution::delta(DamageLabel::Severe);
+        assert_eq!(d.entropy(), 0.0);
+        assert_eq!(d.argmax(), DamageLabel::Severe);
+        assert_eq!(d.prob(DamageLabel::Severe), 1.0);
+    }
+
+    #[test]
+    fn softmax_normalizes_and_orders() {
+        let d = ClassDistribution::from_logits([0.0, 1.0, 2.0]);
+        assert!((d.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(d.prob(DamageLabel::Severe) > d.prob(DamageLabel::Moderate));
+        assert!(d.prob(DamageLabel::Moderate) > d.prob(DamageLabel::NoDamage));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = ClassDistribution::from_logits([1.0, 2.0, 3.0]);
+        let b = ClassDistribution::from_logits([101.0, 102.0, 103.0]);
+        for (x, y) in a.probs().iter().zip(b.probs()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kl_of_identical_distributions_is_zero() {
+        let d = ClassDistribution::from_logits([0.5, 0.2, 0.1]);
+        assert!(d.kl_divergence(&d).abs() < 1e-12);
+        assert!(d.symmetric_kl(&d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_distributions() {
+        let p = ClassDistribution::from_weights([0.7, 0.2, 0.1]);
+        let q = ClassDistribution::from_weights([0.1, 0.2, 0.7]);
+        assert!(p.kl_divergence(&q) > 0.0);
+        assert!((p.symmetric_kl(&q) - q.symmetric_kl(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_with_point_masses_stays_finite() {
+        let p = ClassDistribution::delta(DamageLabel::NoDamage);
+        let q = ClassDistribution::delta(DamageLabel::Severe);
+        assert!(p.symmetric_kl(&q).is_finite());
+        assert!(p.symmetric_kl(&q) > 0.0);
+    }
+
+    #[test]
+    fn weighted_mixture_matches_hand_computation() {
+        let p = ClassDistribution::delta(DamageLabel::NoDamage);
+        let q = ClassDistribution::delta(DamageLabel::Severe);
+        let mix = ClassDistribution::weighted_mixture([(3.0, &p), (1.0, &q)]);
+        assert!((mix.prob(DamageLabel::NoDamage) - 0.75).abs() < 1e-12);
+        assert!((mix.prob(DamageLabel::Severe) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_ignores_zero_weight_components() {
+        let p = ClassDistribution::delta(DamageLabel::NoDamage);
+        let q = ClassDistribution::delta(DamageLabel::Severe);
+        let mix = ClassDistribution::weighted_mixture([(1.0, &p), (0.0, &q)]);
+        assert_eq!(mix.prob(DamageLabel::NoDamage), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight must be positive")]
+    fn mixture_rejects_all_zero_weights() {
+        let p = ClassDistribution::uniform();
+        ClassDistribution::weighted_mixture([(0.0, &p)]);
+    }
+
+    #[test]
+    fn argmax_tie_breaks_to_less_severe() {
+        let d = ClassDistribution::from_weights([1.0, 1.0, 1.0]);
+        assert_eq!(d.argmax(), DamageLabel::NoDamage);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_weights_rejects_negative() {
+        ClassDistribution::from_weights([-0.1, 0.6, 0.5]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ClassDistribution::uniform().to_string().is_empty());
+    }
+}

@@ -1,0 +1,420 @@
+//! The statistical engine behind every simulated DDA expert.
+
+use crate::{ClassDistribution, Classifier};
+use crowdlearn_dataset::visual_layout::{dim, BLOCK, FAMILIES};
+use crowdlearn_dataset::{DamageLabel, LabeledImage, SyntheticImage};
+use serde::{Deserialize, Serialize};
+
+/// Execution-delay model of an expert: per-image seconds with deterministic
+/// per-cycle jitter, calibrated against Table III of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayProfile {
+    /// Mean seconds to classify one image.
+    pub per_image_secs: f64,
+    /// Relative jitter amplitude (e.g. `0.1` = ±10% across cycles).
+    pub jitter_frac: f64,
+}
+
+impl DelayProfile {
+    /// Creates a delay profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_image_secs` is not positive or `jitter_frac` is not in
+    /// `[0, 1)`.
+    pub fn new(per_image_secs: f64, jitter_frac: f64) -> Self {
+        assert!(per_image_secs > 0.0, "delay must be positive");
+        assert!(
+            (0.0..1.0).contains(&jitter_frac),
+            "jitter must be in [0, 1)"
+        );
+        Self {
+            per_image_secs,
+            jitter_frac,
+        }
+    }
+}
+
+/// Static description of a simulated expert's behaviour.
+///
+/// Construct via the presets in [`crate::profiles`] or build a custom profile
+/// for failure-injection tests. See the crate docs for how each knob maps to
+/// a property of real DDA models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertProfile {
+    /// Display name (e.g. `"VGG16"`).
+    pub name: String,
+    /// Relative attention over the three visual feature families
+    /// (deep texture, handcrafted, spatial); normalized internally.
+    pub family_weights: [f64; FAMILIES],
+    /// Logit scale: higher values produce more confident (lower entropy)
+    /// votes.
+    pub confidence_gain: f64,
+    /// Standard deviation of the expert's own per-class perception noise in
+    /// evidence units, at training factor 1.
+    pub perception_noise: f64,
+    /// Prior toward "no damage" in evidence units; models the fact that
+    /// feature-based DDA models report no damage when nothing fires (which
+    /// is what happens on low-resolution images, paper Fig. 1c).
+    pub no_damage_bias: f64,
+    /// Noise multiplier floor approached with infinite training data.
+    pub noise_floor: f64,
+    /// Noise multiplier for a completely untrained model.
+    pub noise_ceiling: f64,
+    /// Sample-count scale of the exponential training curve.
+    pub training_tau: f64,
+    /// Execution-delay model.
+    pub delay: DelayProfile,
+    /// Seed decorrelating this expert's noise from its committee peers.
+    pub seed: u64,
+}
+
+impl ExpertProfile {
+    fn validate(&self) {
+        assert!(
+            self.family_weights.iter().all(|w| *w >= 0.0)
+                && self.family_weights.iter().sum::<f64>() > 0.0,
+            "family weights must be non-negative with positive sum"
+        );
+        assert!(self.confidence_gain > 0.0, "gain must be positive");
+        assert!(self.perception_noise >= 0.0, "noise must be >= 0");
+        assert!(
+            self.noise_floor > 0.0 && self.noise_ceiling >= self.noise_floor,
+            "noise factors must satisfy 0 < floor <= ceiling"
+        );
+        assert!(self.training_tau > 0.0, "training tau must be positive");
+    }
+}
+
+/// A simulated black-box DDA expert (see crate docs for the model).
+///
+/// # Example
+///
+/// ```
+/// use crowdlearn_classifiers::{profiles, Classifier};
+/// use crowdlearn_dataset::{Dataset, DatasetConfig};
+///
+/// let dataset = Dataset::generate(&DatasetConfig::paper());
+/// let expert = profiles::ddm(0);
+/// let vote = expert.predict(&dataset.test()[0]);
+/// assert_eq!(vote, expert.predict(&dataset.test()[0])); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulatedExpert {
+    profile: ExpertProfile,
+    /// Effective training mass: correct labels add 1, wrong labels subtract
+    /// 0.5 (noisy feedback hurts fine-tuning), floored at 0.
+    effective_samples: f64,
+    /// Raw count of samples ever fed to `retrain`.
+    seen_samples: usize,
+    /// Bumped on every retrain so the noise realization changes, the way a
+    /// fine-tuned CNN's individual predictions shift.
+    version: u64,
+}
+
+impl SimulatedExpert {
+    /// Creates an untrained expert from a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is internally inconsistent (see
+    /// [`ExpertProfile`] field docs).
+    pub fn new(profile: ExpertProfile) -> Self {
+        profile.validate();
+        Self {
+            profile,
+            effective_samples: 0.0,
+            seen_samples: 0,
+            version: 0,
+        }
+    }
+
+    /// The expert's static profile.
+    pub fn profile(&self) -> &ExpertProfile {
+        &self.profile
+    }
+
+    /// Current noise multiplier given the training curve: decays
+    /// exponentially from `noise_ceiling` to `noise_floor` as effective
+    /// training samples accumulate. This is the only thing retraining can
+    /// improve — the *innate* deception failure is untouched by training,
+    /// matching the paper's observation that "no matter how many training
+    /// samples are added, the AI performance will not increase" for flawed
+    /// models.
+    pub fn noise_factor(&self) -> f64 {
+        let p = &self.profile;
+        p.noise_floor
+            + (p.noise_ceiling - p.noise_floor) * (-self.effective_samples / p.training_tau).exp()
+    }
+
+    fn evidence_scores(&self, image: &SyntheticImage) -> [f64; DamageLabel::COUNT] {
+        let weights = normalized(self.profile.family_weights);
+        let visual = image.visual_evidence();
+        let mut scores = [0.0; DamageLabel::COUNT];
+        for (class, score) in scores.iter_mut().enumerate() {
+            for (family, w) in weights.iter().enumerate() {
+                let mut block_mean = 0.0;
+                for k in 0..BLOCK {
+                    block_mean += visual[dim(family, class, k)];
+                }
+                block_mean /= BLOCK as f64;
+                *score += w * block_mean;
+            }
+        }
+        scores
+    }
+}
+
+impl Classifier for SimulatedExpert {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn predict(&self, image: &SyntheticImage) -> ClassDistribution {
+        let scores = self.evidence_scores(image);
+        let noise_scale = self.profile.perception_noise * self.noise_factor();
+        let mut logits = [0.0; DamageLabel::COUNT];
+        for (class, logit) in logits.iter_mut().enumerate() {
+            // Fine-tuning shifts a model's individual predictions, but most
+            // of its per-image idiosyncrasy persists: blend a version-stable
+            // component with a version-dependent one (coefficients keep unit
+            // variance). This keeps retraining gains visible instead of
+            // burying them under full prediction reshuffles.
+            let stable = hash_gaussian(
+                self.profile.seed,
+                image.id().0 as u64,
+                0x57ab_1e,
+                class as u64,
+            );
+            let versioned = hash_gaussian(
+                self.profile.seed,
+                image.id().0 as u64,
+                self.version.wrapping_add(1),
+                class as u64,
+            );
+            let noise = (0.8 * stable + 0.6 * versioned) * noise_scale;
+            *logit = self.profile.confidence_gain * (scores[class] + noise);
+        }
+        logits[DamageLabel::NoDamage.index()] +=
+            self.profile.confidence_gain * self.profile.no_damage_bias;
+        ClassDistribution::from_logits(logits)
+    }
+
+    fn retrain(&mut self, samples: &[LabeledImage]) {
+        if samples.is_empty() {
+            return;
+        }
+        for sample in samples {
+            if sample.label == sample.image.truth() {
+                self.effective_samples += 1.0;
+            } else {
+                self.effective_samples = (self.effective_samples - 0.5).max(0.0);
+            }
+        }
+        self.seen_samples += samples.len();
+        self.version += 1;
+    }
+
+    fn execution_delay_secs(&self, batch_size: usize, cycle: u64) -> f64 {
+        let jitter = hash_uniform(self.profile.seed, cycle, 0xde1a_1, 1) * 2.0 - 1.0;
+        self.profile.per_image_delay() * batch_size as f64
+            * (1.0 + self.profile.delay.jitter_frac * jitter)
+    }
+
+    fn training_samples(&self) -> usize {
+        self.seen_samples
+    }
+}
+
+impl ExpertProfile {
+    fn per_image_delay(&self) -> f64 {
+        self.delay.per_image_secs
+    }
+}
+
+fn normalized(weights: [f64; FAMILIES]) -> [f64; FAMILIES] {
+    let sum: f64 = weights.iter().sum();
+    weights.map(|w| w / sum)
+}
+
+/// SplitMix64 hash step.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic uniform sample in `(0, 1)` from a 4-tuple key.
+fn hash_uniform(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let mut h = splitmix64(a);
+    h = splitmix64(h ^ b.wrapping_mul(0x9e37_79b9));
+    h = splitmix64(h ^ c.wrapping_mul(0x85eb_ca6b));
+    h = splitmix64(h ^ d.wrapping_mul(0xc2b2_ae35));
+    // Map to (0, 1): use the top 53 bits, avoid exact 0.
+    ((h >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// Deterministic standard-normal sample from a 4-tuple key (Box-Muller over
+/// two decorrelated uniforms).
+pub(crate) fn hash_gaussian(a: u64, b: u64, c: u64, d: u64) -> f64 {
+    let u1 = hash_uniform(a, b, c, d);
+    let u2 = hash_uniform(a ^ 0xdead_beef, b, c, d);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use crowdlearn_dataset::{Dataset, DatasetConfig, ImageAttribute};
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::paper())
+    }
+
+    fn trained(mut expert: SimulatedExpert, ds: &Dataset) -> SimulatedExpert {
+        let train: Vec<_> = ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+        expert.retrain(&train);
+        expert
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let ds = dataset();
+        let expert = trained(profiles::vgg16(3), &ds);
+        let img = &ds.test()[0];
+        assert_eq!(expert.predict(img), expert.predict(img));
+    }
+
+    #[test]
+    fn retraining_changes_the_noise_realization() {
+        let ds = dataset();
+        let mut expert = trained(profiles::vgg16(3), &ds);
+        let img = ds.test()[0].clone();
+        let before = expert.predict(&img);
+        expert.retrain(&[LabeledImage::ground_truth(img.clone())]);
+        let after = expert.predict(&img);
+        assert_ne!(before, after, "version bump must reshuffle noise");
+    }
+
+    #[test]
+    fn training_reduces_noise_factor_monotonically() {
+        let ds = dataset();
+        let mut expert = profiles::vgg16(3);
+        let untrained_factor = expert.noise_factor();
+        assert!((untrained_factor - expert.profile().noise_ceiling).abs() < 1e-9);
+        let train: Vec<_> =
+            ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+        expert.retrain(&train);
+        let trained_factor = expert.noise_factor();
+        assert!(trained_factor < untrained_factor);
+        assert!(trained_factor >= expert.profile().noise_floor);
+    }
+
+    #[test]
+    fn wrong_labels_hurt_training() {
+        let ds = dataset();
+        let img = ds.train()[0].clone();
+        let wrong_label = DamageLabel::from_index((img.truth().index() + 1) % DamageLabel::COUNT);
+        let mut a = profiles::vgg16(3);
+        let mut b = profiles::vgg16(3);
+        a.retrain(&[LabeledImage::ground_truth(img.clone())]);
+        b.retrain(&[LabeledImage::new(img, wrong_label)]);
+        assert!(a.noise_factor() < b.noise_factor());
+    }
+
+    #[test]
+    fn experts_are_confidently_wrong_on_deceptive_images() {
+        let ds = dataset();
+        let experts = [
+            trained(profiles::vgg16(1), &ds),
+            trained(profiles::bovw(2), &ds),
+            trained(profiles::ddm(3), &ds),
+        ];
+        for expert in &experts {
+            let mut fooled = 0usize;
+            let mut total = 0usize;
+            let mut confidence_sum = 0.0;
+            for img in ds.test().iter().filter(|i| i.attribute() == ImageAttribute::Fake) {
+                let vote = expert.predict(img);
+                total += 1;
+                if vote.argmax() == DamageLabel::Severe {
+                    fooled += 1;
+                }
+                confidence_sum += vote.max_prob();
+            }
+            assert!(
+                fooled as f64 / total as f64 > 0.9,
+                "{} must be fooled by nearly all fakes: {fooled}/{total}",
+                expert.name()
+            );
+            assert!(
+                confidence_sum / total as f64 > 0.8,
+                "{} must be *confidently* wrong on fakes",
+                expert.name()
+            );
+        }
+    }
+
+    #[test]
+    fn retraining_does_not_fix_deceptive_failures() {
+        let ds = dataset();
+        let mut expert = trained(profiles::ddm(3), &ds);
+        // Feed it every test ground truth five times over — far more data
+        // than any crowd could provide.
+        let all: Vec<_> = ds.test().iter().cloned().map(LabeledImage::ground_truth).collect();
+        for _ in 0..5 {
+            expert.retrain(&all);
+        }
+        let mut wrong = 0;
+        let mut total = 0;
+        for img in ds.test().iter().filter(|i| i.misleads_ai()) {
+            total += 1;
+            if expert.predict(img).argmax() != img.truth() {
+                wrong += 1;
+            }
+        }
+        assert!(
+            wrong as f64 / total as f64 > 0.9,
+            "deceptive images must stay broken: {wrong}/{total}"
+        );
+    }
+
+    #[test]
+    fn delay_scales_with_batch_and_stays_near_mean() {
+        let expert = profiles::vgg16(1);
+        let d1 = expert.execution_delay_secs(10, 0);
+        let per_image = expert.profile().delay.per_image_secs;
+        assert!((d1 / 10.0 - per_image).abs() / per_image < 0.2);
+        assert_eq!(expert.execution_delay_secs(10, 0), d1, "deterministic per cycle");
+        assert_ne!(expert.execution_delay_secs(10, 1), d1, "varies across cycles");
+    }
+
+    #[test]
+    fn hash_gaussian_has_roughly_standard_moments() {
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|i| hash_gaussian(42, i, 7, 1)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate_experts() {
+        let ds = dataset();
+        let a = trained(profiles::vgg16(1), &ds);
+        let b = trained(profiles::vgg16(2), &ds);
+        let img = &ds.test()[5];
+        assert_ne!(a.predict(img), b.predict(img));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn zero_family_weights_rejected() {
+        let mut p = profiles::vgg16(1).profile().clone();
+        p.family_weights = [0.0; FAMILIES];
+        SimulatedExpert::new(p);
+    }
+}

@@ -1,0 +1,230 @@
+//! Trivial reference classifiers — oracles, constants, uniform guessers —
+//! for harness testing, ablation floors/ceilings, and debugging committee
+//! behaviour without the statistical experts' noise.
+
+use crate::{ClassDistribution, Classifier};
+use crowdlearn_dataset::{DamageLabel, LabeledImage, SyntheticImage};
+
+/// Always predicts the ground truth with the given confidence — an upper
+/// bound for any committee it joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleClassifier {
+    confidence: f64,
+    samples: usize,
+}
+
+impl OracleClassifier {
+    /// Creates an oracle that puts `confidence` mass on the true label and
+    /// splits the rest uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(1/K, 1]`.
+    pub fn new(confidence: f64) -> Self {
+        assert!(
+            confidence > 1.0 / DamageLabel::COUNT as f64 && confidence <= 1.0,
+            "confidence must identify the true class"
+        );
+        Self {
+            confidence,
+            samples: 0,
+        }
+    }
+}
+
+impl Classifier for OracleClassifier {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn predict(&self, image: &SyntheticImage) -> ClassDistribution {
+        let rest = (1.0 - self.confidence) / (DamageLabel::COUNT - 1) as f64;
+        let mut weights = [rest; DamageLabel::COUNT];
+        weights[image.truth().index()] = self.confidence;
+        ClassDistribution::from_weights(weights)
+    }
+
+    fn retrain(&mut self, samples: &[LabeledImage]) {
+        self.samples += samples.len();
+    }
+
+    fn execution_delay_secs(&self, _batch_size: usize, _cycle: u64) -> f64 {
+        1e-6
+    }
+
+    fn training_samples(&self) -> usize {
+        self.samples
+    }
+}
+
+/// Always predicts one fixed label with full confidence — the classic
+/// degenerate baseline and a handy adversary for committee tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstantClassifier {
+    label: DamageLabel,
+    samples: usize,
+}
+
+impl ConstantClassifier {
+    /// Creates a classifier pinned to `label`.
+    pub fn new(label: DamageLabel) -> Self {
+        Self { label, samples: 0 }
+    }
+}
+
+impl Classifier for ConstantClassifier {
+    fn name(&self) -> &str {
+        "constant"
+    }
+
+    fn predict(&self, _image: &SyntheticImage) -> ClassDistribution {
+        ClassDistribution::delta(self.label)
+    }
+
+    fn retrain(&mut self, samples: &[LabeledImage]) {
+        self.samples += samples.len();
+    }
+
+    fn execution_delay_secs(&self, _batch_size: usize, _cycle: u64) -> f64 {
+        1e-6
+    }
+
+    fn training_samples(&self) -> usize {
+        self.samples
+    }
+}
+
+/// Returns the uniform distribution for every image — maximum entropy, so a
+/// committee containing it asks the crowd about everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UniformClassifier;
+
+impl Classifier for UniformClassifier {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn predict(&self, _image: &SyntheticImage) -> ClassDistribution {
+        ClassDistribution::uniform()
+    }
+
+    fn retrain(&mut self, _samples: &[LabeledImage]) {}
+
+    fn execution_delay_secs(&self, _batch_size: usize, _cycle: u64) -> f64 {
+        1e-6
+    }
+
+    fn training_samples(&self) -> usize {
+        0
+    }
+}
+
+/// Predicts the *visual* label — what the image merely looks like — with the
+/// given confidence: the archetype of the paper's innately flawed
+/// feature-based model (always fooled by fakes, never fixable by training).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceReader {
+    confidence: f64,
+}
+
+impl SurfaceReader {
+    /// Creates a surface reader with the given confidence on the visual
+    /// label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(1/K, 1]`.
+    pub fn new(confidence: f64) -> Self {
+        assert!(
+            confidence > 1.0 / DamageLabel::COUNT as f64 && confidence <= 1.0,
+            "confidence must identify the visual class"
+        );
+        Self { confidence }
+    }
+}
+
+impl Classifier for SurfaceReader {
+    fn name(&self) -> &str {
+        "surface-reader"
+    }
+
+    fn predict(&self, image: &SyntheticImage) -> ClassDistribution {
+        let rest = (1.0 - self.confidence) / (DamageLabel::COUNT - 1) as f64;
+        let mut weights = [rest; DamageLabel::COUNT];
+        weights[image.visual_label().index()] = self.confidence;
+        ClassDistribution::from_weights(weights)
+    }
+
+    fn retrain(&mut self, _samples: &[LabeledImage]) {}
+
+    fn execution_delay_secs(&self, _batch_size: usize, _cycle: u64) -> f64 {
+        1e-6
+    }
+
+    fn training_samples(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdlearn_dataset::{Dataset, DatasetConfig};
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::paper().with_total(60).with_train_count(30))
+    }
+
+    #[test]
+    fn oracle_is_always_right() {
+        let ds = dataset();
+        let oracle = OracleClassifier::new(0.9);
+        for img in ds.images() {
+            assert_eq!(oracle.predict(img).argmax(), img.truth());
+        }
+    }
+
+    #[test]
+    fn constant_always_answers_the_same() {
+        let ds = dataset();
+        let c = ConstantClassifier::new(DamageLabel::Moderate);
+        for img in ds.images().iter().take(10) {
+            assert_eq!(c.predict(img).argmax(), DamageLabel::Moderate);
+        }
+    }
+
+    #[test]
+    fn uniform_has_maximum_entropy() {
+        let ds = dataset();
+        let u = UniformClassifier;
+        let vote = u.predict(&ds.images()[0]);
+        assert!((vote.entropy() - (DamageLabel::COUNT as f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surface_reader_is_fooled_exactly_on_deceptive_images() {
+        let ds = dataset();
+        let s = SurfaceReader::new(0.95);
+        for img in ds.images() {
+            let correct = s.predict(img).argmax() == img.truth();
+            assert_eq!(correct, !img.misleads_ai(), "image {}", img.id());
+        }
+    }
+
+    #[test]
+    fn synthetic_classifiers_are_object_safe_and_boxable() {
+        let classifiers: Vec<Box<dyn Classifier>> = vec![
+            Box::new(OracleClassifier::new(0.8)),
+            Box::new(ConstantClassifier::new(DamageLabel::Severe)),
+            Box::new(UniformClassifier),
+            Box::new(SurfaceReader::new(0.8)),
+        ];
+        assert_eq!(classifiers.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "identify the true class")]
+    fn oracle_rejects_chance_confidence() {
+        OracleClassifier::new(1.0 / 3.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests on the classifier simulators.
+
+use crowdlearn_classifiers::{profiles, ClassDistribution, Classifier};
+use crowdlearn_dataset::{Dataset, DatasetConfig, LabeledImage};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Expert votes are valid distributions for every image, every expert,
+    /// and every training state.
+    #[test]
+    fn votes_are_always_distributions(seed in 0u64..500, retrain_rounds in 0usize..3) {
+        let ds = Dataset::generate(
+            &DatasetConfig::paper().with_total(90).with_train_count(45).with_seed(seed),
+        );
+        let train: Vec<LabeledImage> =
+            ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+        for mut expert in profiles::paper_committee(seed) {
+            for _ in 0..retrain_rounds {
+                expert.retrain(&train);
+            }
+            for img in ds.test().iter().take(12) {
+                let vote = expert.predict(img);
+                let sum: f64 = vote.probs().iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+                prop_assert!(vote.probs().iter().all(|p| (0.0..=1.0).contains(p)));
+                prop_assert!(vote.entropy() >= -1e-12);
+            }
+        }
+    }
+
+    /// Prediction is a pure function: repeated calls agree; retraining with
+    /// an empty batch changes nothing.
+    #[test]
+    fn predictions_are_pure(seed in 0u64..500) {
+        let ds = Dataset::generate(
+            &DatasetConfig::paper().with_total(60).with_train_count(30).with_seed(seed),
+        );
+        let mut expert = profiles::vgg16(seed);
+        let img = ds.test()[0].clone();
+        let before = expert.predict(&img);
+        prop_assert_eq!(expert.predict(&img), before.clone());
+        expert.retrain(&[]);
+        prop_assert_eq!(expert.predict(&img), before);
+    }
+
+    /// Delay is positive, scales linearly in the batch size, and is stable
+    /// per cycle.
+    #[test]
+    fn delays_are_positive_and_linear(seed in 0u64..500, cycle in 0u64..100, batch in 1usize..40) {
+        for expert in profiles::paper_committee(seed) {
+            let one = expert.execution_delay_secs(1, cycle);
+            let many = expert.execution_delay_secs(batch, cycle);
+            prop_assert!(one > 0.0);
+            prop_assert!((many - one * batch as f64).abs() < 1e-9 * batch as f64 + 1e-9);
+            prop_assert_eq!(expert.execution_delay_secs(batch, cycle), many);
+        }
+    }
+
+    /// Mixtures of expert votes stay normalized for arbitrary positive
+    /// weights.
+    #[test]
+    fn weighted_mixtures_are_normalized(
+        w1 in 0.01f64..10.0,
+        w2 in 0.01f64..10.0,
+        w3 in 0.01f64..10.0,
+        seed in 0u64..500,
+    ) {
+        let ds = Dataset::generate(
+            &DatasetConfig::paper().with_total(60).with_train_count(30).with_seed(seed),
+        );
+        let committee = profiles::paper_committee(seed);
+        let img = &ds.test()[0];
+        let votes: Vec<ClassDistribution> = committee.iter().map(|e| e.predict(img)).collect();
+        let mix = ClassDistribution::weighted_mixture(
+            [w1, w2, w3].iter().copied().zip(votes.iter()),
+        );
+        prop_assert!((mix.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

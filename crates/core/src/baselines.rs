@@ -1,0 +1,448 @@
+//! The evaluation's competitor schemes (paper §V-A): AI-only runners for
+//! VGG16 / BoVW / DDM / Ensemble, and the two hybrid human-AI baselines
+//! `Hybrid-Para` (Jarrett et al.) and `Hybrid-AL` (Laws et al.).
+
+use crate::report::{CycleOutcome, ImageOutcome};
+use crate::SchemeReport;
+use crowdlearn_bandit::{BanditConfig, FixedPolicy};
+use crowdlearn_classifiers::{ClassDistribution, Classifier};
+use crowdlearn_crowd::{IncentiveLevel, Platform, PlatformConfig, QueryResponse};
+use crowdlearn_dataset::{
+    DamageLabel, Dataset, LabeledImage, SensingCycleStream,
+};
+use crowdlearn_truth::{Aggregator, Annotation, MajorityVoting};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Runs an AI-only classifier over the stream (the VGG16 / BoVW / DDM /
+/// Ensemble rows of Tables II-III). The classifier is trained by the caller.
+pub fn run_ai_only(
+    classifier: &mut dyn Classifier,
+    dataset: &Dataset,
+    stream: &SensingCycleStream,
+) -> SchemeReport {
+    let mut report = SchemeReport::new(classifier.name().to_owned());
+    for cycle in stream {
+        let images = cycle.images(dataset);
+        let outcomes: Vec<ImageOutcome> = images
+            .iter()
+            .map(|img| {
+                let distribution = classifier.predict(img);
+                ImageOutcome {
+                    image: img.id(),
+                    truth: img.truth(),
+                    predicted: distribution.argmax(),
+                    distribution,
+                    queried: false,
+                }
+            })
+            .collect();
+        let outcome = CycleOutcome {
+            cycle: cycle.index,
+            context: cycle.context,
+            images: outcomes,
+            algorithm_delay_secs: classifier
+                .execution_delay_secs(images.len(), cycle.index as u64),
+            crowd_delay_secs: None,
+            spent_cents: 0,
+        };
+        report.record_cycle(&outcome);
+    }
+    report
+}
+
+/// Shared configuration of the two hybrid baselines. Both query the same
+/// number of images per cycle as CrowdLearn and pay the paper's fixed
+/// incentive ("the total budget divided by the number of queries").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// Images queried per cycle.
+    pub queries_per_cycle: usize,
+    /// Total crowd budget in cents.
+    pub budget_cents: f64,
+    /// Expected total queries (sets the fixed incentive level).
+    pub horizon_queries: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Platform seed.
+    pub platform_seed: u64,
+}
+
+impl HybridConfig {
+    /// Matches `CrowdLearnConfig::paper()` for a fair comparison.
+    pub fn paper() -> Self {
+        Self {
+            queries_per_cycle: 5,
+            budget_cents: 1000.0,
+            horizon_queries: 200,
+            seed: 0xbab5,
+            platform_seed: 0x5eed,
+        }
+    }
+
+    /// Sets queries per cycle (Figure 9 sweep).
+    pub fn with_queries_per_cycle(mut self, n: usize) -> Self {
+        self.queries_per_cycle = n;
+        self
+    }
+
+    /// Sets the budget.
+    pub fn with_budget_cents(mut self, cents: f64) -> Self {
+        self.budget_cents = cents;
+        self
+    }
+
+    /// Sets both seeds from one value.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.platform_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(2);
+        self
+    }
+
+    fn fixed_policy(&self) -> FixedPolicy {
+        FixedPolicy::max_affordable(BanditConfig::new(
+            crowdlearn_dataset::TemporalContext::COUNT,
+            IncentiveLevel::costs(),
+            self.budget_cents,
+            self.horizon_queries.max(1),
+        ))
+    }
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+fn majority_label(response: &QueryResponse) -> DamageLabel {
+    let annotations: Vec<Annotation> = response
+        .responses
+        .iter()
+        .map(|r| Annotation::new(r.worker, 0, r.label.index()))
+        .collect();
+    let estimate = &MajorityVoting.aggregate(&annotations, 1, DamageLabel::COUNT)[0];
+    DamageLabel::from_index(estimate.label())
+}
+
+fn crowd_vote_distribution(response: &QueryResponse) -> ClassDistribution {
+    let mut votes = [0.0f64; DamageLabel::COUNT];
+    for r in &response.responses {
+        votes[r.label.index()] += 1.0;
+    }
+    ClassDistribution::from_weights(votes)
+}
+
+/// `Hybrid-AL` (Laws et al. 2011): active learning with crowd labels.
+///
+/// Per cycle the AI's most uncertain images are sent to the crowd at a fixed
+/// incentive; majority-voted labels *retrain* the model for later cycles
+/// (only confident majorities — at least 4 of 5 workers agreeing — are used,
+/// the usual active-learning hygiene against annotation noise).
+/// Crucially there is no offloading — the AI's own (possibly innately
+/// flawed) labels are always the output, which is why its Figure 9 curve
+/// stays flat. The evaluation wraps it around the boosted Ensemble (the
+/// strongest AI), making Hybrid-AL the best-performing baseline as in
+/// Table II.
+pub struct HybridAl {
+    classifier: Box<dyn Classifier>,
+    policy: FixedPolicy,
+    platform: Platform,
+    config: HybridConfig,
+}
+
+impl HybridAl {
+    /// Builds the baseline around a caller-trained classifier.
+    pub fn new(classifier: Box<dyn Classifier>, config: HybridConfig) -> Self {
+        Self {
+            policy: config.fixed_policy(),
+            platform: Platform::new(PlatformConfig::paper().with_seed(config.platform_seed)),
+            classifier,
+            config,
+        }
+    }
+
+    /// Runs the full stream.
+    pub fn run(&mut self, dataset: &Dataset, stream: &SensingCycleStream) -> SchemeReport {
+        use crowdlearn_bandit::CostedBandit as _;
+        let mut report = SchemeReport::new("Hybrid-AL");
+        for cycle in stream {
+            let images = cycle.images(dataset);
+            let spent_before = self.platform.spent_cents();
+
+            // Predict and rank by uncertainty.
+            let distributions: Vec<ClassDistribution> =
+                images.iter().map(|img| self.classifier.predict(img)).collect();
+            let mut by_entropy: Vec<usize> = (0..images.len()).collect();
+            by_entropy.sort_by(|&a, &b| {
+                distributions[b]
+                    .entropy()
+                    .partial_cmp(&distributions[a].entropy())
+                    .expect("finite entropies")
+            });
+
+            // Query the top-uncertainty images at the fixed incentive.
+            let mut delays = Vec::new();
+            let mut retrain_samples = Vec::new();
+            let mut queried = vec![false; images.len()];
+            for &idx in by_entropy.iter().take(self.config.queries_per_cycle) {
+                let Some(action) = self.policy.select(cycle.context.index()) else {
+                    break;
+                };
+                let level = IncentiveLevel::from_index(action);
+                let response = self.platform.submit(images[idx], level, cycle.context);
+                delays.push(response.completion_delay_secs);
+                let crowd_dist = crowd_vote_distribution(&response);
+                if crowd_dist.max_prob() >= 0.8 {
+                    retrain_samples.push(LabeledImage::new(
+                        images[idx].clone(),
+                        majority_label(&response),
+                    ));
+                }
+                queried[idx] = true;
+            }
+
+            // Output is always the AI's own labels.
+            let outcomes: Vec<ImageOutcome> = images
+                .iter()
+                .zip(&distributions)
+                .enumerate()
+                .map(|(i, (img, dist))| ImageOutcome {
+                    image: img.id(),
+                    truth: img.truth(),
+                    predicted: dist.argmax(),
+                    distribution: dist.clone(),
+                    queried: queried[i],
+                })
+                .collect();
+
+            // Retrain with the crowd labels for subsequent cycles.
+            if !retrain_samples.is_empty() {
+                self.classifier.retrain(&retrain_samples);
+            }
+
+            report.record_cycle(&CycleOutcome {
+                cycle: cycle.index,
+                context: cycle.context,
+                images: outcomes,
+                algorithm_delay_secs: self
+                    .classifier
+                    .execution_delay_secs(images.len(), cycle.index as u64)
+                    + 1.0,
+                crowd_delay_secs: if delays.is_empty() {
+                    None
+                } else {
+                    Some(delays.iter().sum::<f64>() / delays.len() as f64)
+                },
+                spent_cents: self.platform.spent_cents() - spent_before,
+            });
+        }
+        report
+    }
+}
+
+/// `Hybrid-Para` (Jarrett et al. 2014): humans and AI label independently
+/// and a complexity index merges the two streams.
+///
+/// A random sample of each cycle's images goes to the crowd (no uncertainty
+/// targeting — the streams are independent); for sampled images the
+/// complexity index routes the decision: complex images (high AI vote
+/// entropy) take the crowd's raw majority label, simple images keep the AI
+/// label. Because genuinely complex images are hard for the crowd too, and
+/// because confidently-wrong AI (deceptive images) looks "simple" to the
+/// index, the integration buys little — which is why Hybrid-Para trails the
+/// adaptive schemes in Table II and stays flat in Figure 9.
+pub struct HybridPara {
+    classifier: Box<dyn Classifier>,
+    policy: FixedPolicy,
+    platform: Platform,
+    config: HybridConfig,
+    complexity_threshold: f64,
+    rng: StdRng,
+}
+
+impl HybridPara {
+    /// Default complexity-index threshold (in nats of AI vote entropy).
+    pub const DEFAULT_COMPLEXITY_THRESHOLD: f64 = 0.35;
+
+    /// Builds the baseline around a caller-trained classifier.
+    pub fn new(classifier: Box<dyn Classifier>, config: HybridConfig) -> Self {
+        Self {
+            policy: config.fixed_policy(),
+            platform: Platform::new(PlatformConfig::paper().with_seed(config.platform_seed)),
+            rng: StdRng::seed_from_u64(config.seed ^ 0x9a7a),
+            complexity_threshold: Self::DEFAULT_COMPLEXITY_THRESHOLD,
+            classifier,
+            config,
+        }
+    }
+
+    /// Overrides the complexity threshold (ablation support).
+    pub fn with_complexity_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        self.complexity_threshold = threshold;
+        self
+    }
+
+    /// Runs the full stream.
+    pub fn run(&mut self, dataset: &Dataset, stream: &SensingCycleStream) -> SchemeReport {
+        use crowdlearn_bandit::CostedBandit as _;
+        let mut report = SchemeReport::new("Hybrid-Para");
+        for cycle in stream {
+            let images = cycle.images(dataset);
+            let spent_before = self.platform.spent_cents();
+
+            let distributions: Vec<ClassDistribution> =
+                images.iter().map(|img| self.classifier.predict(img)).collect();
+
+            // Humans label an independent random sample.
+            let mut sample: Vec<usize> = (0..images.len()).collect();
+            sample.shuffle(&mut self.rng);
+            sample.truncate(self.config.queries_per_cycle);
+
+            let mut delays = Vec::new();
+            let mut outcomes: Vec<ImageOutcome> = images
+                .iter()
+                .zip(&distributions)
+                .map(|(img, dist)| ImageOutcome {
+                    image: img.id(),
+                    truth: img.truth(),
+                    predicted: dist.argmax(),
+                    distribution: dist.clone(),
+                    queried: false,
+                })
+                .collect();
+
+            for idx in sample {
+                let Some(action) = self.policy.select(cycle.context.index()) else {
+                    break;
+                };
+                let level = IncentiveLevel::from_index(action);
+                let response = self.platform.submit(images[idx], level, cycle.context);
+                delays.push(response.completion_delay_secs);
+                outcomes[idx].queried = true;
+                // Complexity-index routing: complex (high AI entropy) goes
+                // to the crowd's raw majority, simple keeps the AI label.
+                let crowd_dist = crowd_vote_distribution(&response);
+                if distributions[idx].entropy() > self.complexity_threshold {
+                    outcomes[idx].predicted = crowd_dist.argmax();
+                    outcomes[idx].distribution = crowd_dist;
+                }
+            }
+
+            report.record_cycle(&CycleOutcome {
+                cycle: cycle.index,
+                context: cycle.context,
+                images: outcomes,
+                algorithm_delay_secs: self
+                    .classifier
+                    .execution_delay_secs(images.len(), cycle.index as u64)
+                    + 8.5,
+                crowd_delay_secs: if delays.is_empty() {
+                    None
+                } else {
+                    Some(delays.iter().sum::<f64>() / delays.len() as f64)
+                },
+                spent_cents: self.platform.spent_cents() - spent_before,
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdlearn_classifiers::{profiles, BoostedEnsemble};
+    use crowdlearn_dataset::DatasetConfig;
+
+    fn setup() -> (Dataset, SensingCycleStream, Vec<LabeledImage>) {
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        let stream = SensingCycleStream::paper(&dataset);
+        let train: Vec<LabeledImage> = dataset
+            .train()
+            .iter()
+            .cloned()
+            .map(LabeledImage::ground_truth)
+            .collect();
+        (dataset, stream, train)
+    }
+
+    #[test]
+    fn ai_only_reports_match_expert_accuracy_bands() {
+        let (dataset, stream, train) = setup();
+        let mut ddm = profiles::ddm(0);
+        ddm.retrain(&train);
+        let report = run_ai_only(&mut ddm, &dataset, &stream);
+        assert_eq!(report.name, "DDM");
+        assert!((report.accuracy() - 0.807).abs() < 0.05, "{}", report.accuracy());
+        assert!(report.mean_crowd_delay_secs().is_none());
+        assert_eq!(report.spent_cents, 0);
+    }
+
+    #[test]
+    fn hybrid_al_improves_slightly_over_its_base_model() {
+        let (dataset, stream, train) = setup();
+        let mut base = profiles::ddm(0);
+        base.retrain(&train);
+        let base_report = run_ai_only(&mut base.clone(), &dataset, &stream);
+
+        let mut al = HybridAl::new(Box::new(base), HybridConfig::paper());
+        let al_report = al.run(&dataset, &stream);
+        // Retraining with crowd labels buys a little accuracy, but cannot
+        // exceed the architecture's ceiling (Table II: 0.823 vs 0.807). The
+        // comparison carries realization variance: every retrain reshuffles
+        // the simulated model's prediction noise, so individual runs move a
+        // couple of points either way around the base model.
+        assert!(
+            al_report.accuracy() >= base_report.accuracy() - 0.045,
+            "Hybrid-AL {} must not collapse below DDM {}",
+            al_report.accuracy(),
+            base_report.accuracy()
+        );
+        assert!(al_report.mean_crowd_delay_secs().is_some());
+        assert_eq!(al_report.queries_issued, 200);
+    }
+
+    #[test]
+    fn hybrid_al_respects_budget() {
+        let (dataset, stream, train) = setup();
+        let mut base = profiles::ddm(0);
+        base.retrain(&train);
+        let mut al = HybridAl::new(
+            Box::new(base),
+            HybridConfig::paper().with_budget_cents(100.0),
+        );
+        let report = al.run(&dataset, &stream);
+        assert!(report.spent_cents <= 100);
+    }
+
+    #[test]
+    fn hybrid_para_lands_in_its_table2_band() {
+        let (dataset, stream, train) = setup();
+        let mut ensemble = BoostedEnsemble::new(profiles::paper_committee(0));
+        ensemble.retrain(&train);
+        let mut para = HybridPara::new(Box::new(ensemble), HybridConfig::paper());
+        let report = para.run(&dataset, &stream);
+        // Paper Table II: Hybrid-Para 0.797.
+        assert!(
+            (report.accuracy() - 0.797).abs() < 0.06,
+            "Hybrid-Para accuracy {}",
+            report.accuracy()
+        );
+    }
+
+    #[test]
+    fn fixed_incentive_hybrids_are_slower_than_nothing_at_all() {
+        // Sanity: hybrids actually incur crowd delay while AI-only does not.
+        let (dataset, stream, train) = setup();
+        let mut ensemble = BoostedEnsemble::new(profiles::paper_committee(0));
+        ensemble.retrain(&train);
+        let mut para = HybridPara::new(Box::new(ensemble), HybridConfig::paper());
+        let report = para.run(&dataset, &stream);
+        let crowd = report.mean_crowd_delay_secs().expect("para queries the crowd");
+        assert!(crowd > report.mean_algorithm_delay_secs());
+    }
+}

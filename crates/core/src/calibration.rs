@@ -1,0 +1,245 @@
+//! Machine Intelligence Calibration (paper §IV-D): use the crowd's truthful
+//! labels to re-weight, retrain, and override the AI committee.
+
+use crate::Committee;
+use crowdlearn_classifiers::ClassDistribution;
+use crowdlearn_dataset::{LabeledImage, SyntheticImage};
+use serde::{Deserialize, Serialize};
+
+/// Maps a symmetric KL divergence to the `[0, 1]` loss scale — the `delta`
+/// normalization of Eq. 5. `1 - exp(-kl)` is 0 for identical distributions
+/// and approaches 1 as the divergence grows.
+///
+/// # Panics
+///
+/// Panics if `kl` is negative or NaN.
+pub fn normalized_symmetric_kl(kl: f64) -> f64 {
+    assert!(kl >= 0.0 && !kl.is_nan(), "KL divergence must be >= 0");
+    1.0 - (-kl).exp()
+}
+
+/// Which of MIC's three strategies are active — the ablation switchboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CalibratorConfig {
+    /// Dynamic expert-weight updates (Hedge over Eq. 5 losses).
+    pub update_weights: bool,
+    /// Model retraining with crowd labels.
+    pub retrain: bool,
+    /// Crowd offloading: replace AI labels with CQC labels on the query set.
+    pub offload: bool,
+}
+
+impl CalibratorConfig {
+    /// The full CrowdLearn configuration: all three strategies on.
+    pub fn paper() -> Self {
+        Self {
+            update_weights: true,
+            retrain: true,
+            offload: true,
+        }
+    }
+
+    /// Everything off (the committee degenerates to a static ensemble).
+    pub fn disabled() -> Self {
+        Self {
+            update_weights: false,
+            retrain: false,
+            offload: false,
+        }
+    }
+}
+
+impl Default for CalibratorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The MIC module. Stateless apart from its configuration; all state lives
+/// in the [`Committee`] it calibrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Calibrator {
+    config: CalibratorConfig,
+}
+
+impl Calibrator {
+    /// Creates a calibrator with the given strategy switches.
+    pub fn new(config: CalibratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> CalibratorConfig {
+        self.config
+    }
+
+    /// Per-expert losses from Eq. 5: the mean normalized symmetric KL
+    /// divergence between each expert's vote and the CQC truthful
+    /// distribution, over the cycle's query set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queried` is empty or the images/labels lengths mismatch.
+    pub fn expert_losses(
+        &self,
+        committee: &Committee,
+        queried: &[(&SyntheticImage, ClassDistribution)],
+    ) -> Vec<f64> {
+        assert!(!queried.is_empty(), "need at least one queried image");
+        let mut losses = vec![0.0; committee.len()];
+        for (image, truthful) in queried {
+            let votes = committee.votes(image);
+            for (loss, vote) in losses.iter_mut().zip(&votes) {
+                *loss += normalized_symmetric_kl(vote.symmetric_kl(truthful));
+            }
+        }
+        for loss in &mut losses {
+            *loss /= queried.len() as f64;
+        }
+        losses
+    }
+
+    /// Runs one MIC round after CQC has produced truthful distributions for
+    /// the cycle's query set: Hedge weight update, committee retraining, and
+    /// (if enabled) returns the set of overrides the caller should apply to
+    /// the cycle's output labels (crowd offloading).
+    ///
+    /// Returns `(offload_labels)`: for each queried image, `Some(truthful
+    /// distribution)` when offloading is enabled, `None` otherwise.
+    pub fn calibrate(
+        &self,
+        committee: &mut Committee,
+        queried: &[(&SyntheticImage, ClassDistribution)],
+    ) -> Vec<Option<ClassDistribution>> {
+        if queried.is_empty() {
+            return Vec::new();
+        }
+
+        if self.config.update_weights {
+            let losses = self.expert_losses(committee, queried);
+            committee.update_weights(&losses);
+        }
+
+        if self.config.retrain {
+            let samples: Vec<LabeledImage> = queried
+                .iter()
+                .map(|(image, truthful)| LabeledImage::new((*image).clone(), truthful.argmax()))
+                .collect();
+            committee.retrain(&samples);
+        }
+
+        queried
+            .iter()
+            .map(|(_, truthful)| self.config.offload.then(|| truthful.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdlearn_classifiers::{profiles, Classifier};
+    use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig};
+
+    fn committee(ds: &Dataset) -> Committee {
+        let train: Vec<_> = ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+        let members: Vec<Box<dyn Classifier>> = profiles::paper_committee(0)
+            .into_iter()
+            .map(|mut e| {
+                e.retrain(&train);
+                Box::new(e) as Box<dyn Classifier>
+            })
+            .collect();
+        Committee::new(members, 0.6)
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        assert_eq!(normalized_symmetric_kl(0.0), 0.0);
+        assert!(normalized_symmetric_kl(0.5) > 0.0);
+        assert!(normalized_symmetric_kl(100.0) <= 1.0);
+        let a = normalized_symmetric_kl(0.3);
+        let b = normalized_symmetric_kl(0.6);
+        assert!(a < b, "normalization must be monotone");
+    }
+
+    #[test]
+    fn accurate_experts_receive_lower_losses() {
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let committee = committee(&ds);
+        let calibrator = Calibrator::new(CalibratorConfig::paper());
+        // Use ground truth as the "truthful" distribution over many plain
+        // images: DDM (most accurate) must incur a smaller loss than BoVW.
+        let queried: Vec<(&crowdlearn_dataset::SyntheticImage, ClassDistribution)> = ds
+            .test()
+            .iter()
+            .take(60)
+            .map(|img| (img, ClassDistribution::delta(img.truth())))
+            .collect();
+        let losses = calibrator.expert_losses(&committee, &queried);
+        // Member order: VGG16, BoVW, DDM.
+        assert!(
+            losses[2] < losses[1],
+            "DDM loss {} must be below BoVW loss {}",
+            losses[2],
+            losses[1]
+        );
+    }
+
+    #[test]
+    fn calibration_shifts_weights_toward_better_experts() {
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let mut committee = committee(&ds);
+        let calibrator = Calibrator::new(CalibratorConfig::paper());
+        for chunk in ds.test().chunks(20).take(5) {
+            let queried: Vec<_> = chunk
+                .iter()
+                .map(|img| (img, ClassDistribution::delta(img.truth())))
+                .collect();
+            calibrator.calibrate(&mut committee, &queried);
+        }
+        let w = committee.weights();
+        assert!(
+            w[2] > w[1],
+            "DDM weight {} must exceed BoVW weight {} after calibration: {w:?}",
+            w[2],
+            w[1]
+        );
+    }
+
+    #[test]
+    fn offloading_returns_truthful_distributions() {
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let mut committee = committee(&ds);
+        let calibrator = Calibrator::new(CalibratorConfig::paper());
+        let truthful = ClassDistribution::delta(DamageLabel::Severe);
+        let queried = vec![(&ds.test()[0], truthful.clone())];
+        let overrides = calibrator.calibrate(&mut committee, &queried);
+        assert_eq!(overrides.len(), 1);
+        assert_eq!(overrides[0], Some(truthful));
+    }
+
+    #[test]
+    fn disabled_calibrator_changes_nothing() {
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let mut committee = committee(&ds);
+        let weights_before = committee.weights().to_vec();
+        let vote_before = committee.committee_vote(&ds.test()[3]);
+        let calibrator = Calibrator::new(CalibratorConfig::disabled());
+        let queried =
+            vec![(&ds.test()[0], ClassDistribution::delta(DamageLabel::NoDamage))];
+        let overrides = calibrator.calibrate(&mut committee, &queried);
+        assert_eq!(overrides, vec![None]);
+        assert_eq!(committee.weights(), &weights_before[..]);
+        assert_eq!(committee.committee_vote(&ds.test()[3]), vote_before);
+    }
+
+    #[test]
+    fn empty_query_set_is_a_no_op() {
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let mut committee = committee(&ds);
+        let calibrator = Calibrator::new(CalibratorConfig::paper());
+        let overrides = calibrator.calibrate(&mut committee, &[]);
+        assert!(overrides.is_empty());
+    }
+}

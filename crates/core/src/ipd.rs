@@ -1,0 +1,184 @@
+//! Incentive Policy Design (paper §IV-B): the CCMB mapping between the
+//! crowdsourcing platform and the bandit substrate.
+
+use crowdlearn_bandit::CostedBandit;
+use crowdlearn_crowd::IncentiveLevel;
+use crowdlearn_dataset::TemporalContext;
+
+/// Maps raw crowd delays to the bandit's `[0, 1]` payoff scale.
+///
+/// The paper defines payoff as "the additive inverse of the average delay of
+/// the query answers" (Definition 12); normalizing by a delay ceiling keeps
+/// payoffs inside the `[0, 1]` range UCB-style confidence bounds expect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PayoffNormalizer {
+    ceiling_secs: f64,
+}
+
+impl PayoffNormalizer {
+    /// Creates a normalizer; `ceiling_secs` should be an upper bound on
+    /// plausible query delays (delays above it clamp to payoff 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ceiling_secs` is not positive.
+    pub fn new(ceiling_secs: f64) -> Self {
+        assert!(ceiling_secs > 0.0, "ceiling must be positive");
+        Self { ceiling_secs }
+    }
+
+    /// A ceiling comfortably above the slowest pilot-study cell.
+    pub fn paper() -> Self {
+        Self::new(1800.0)
+    }
+
+    /// Payoff of a delay: `1 - delay / ceiling`, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_secs` is negative or NaN.
+    pub fn payoff(&self, delay_secs: f64) -> f64 {
+        assert!(
+            delay_secs >= 0.0 && !delay_secs.is_nan(),
+            "delay must be non-negative"
+        );
+        (1.0 - delay_secs / self.ceiling_secs).clamp(0.0, 1.0)
+    }
+}
+
+/// The IPD module: a budget-constrained contextual bandit choosing one
+/// [`IncentiveLevel`] per query, learning from observed delays.
+///
+/// Any [`CostedBandit`] can drive it — `UcbAlp` for CrowdLearn proper,
+/// `FixedPolicy`/`RandomPolicy` for the Figure 8 baselines — which is also
+/// how the ablation benches swap policies.
+pub struct IncentivePolicy {
+    bandit: Box<dyn CostedBandit>,
+    normalizer: PayoffNormalizer,
+}
+
+impl IncentivePolicy {
+    /// Wraps a bandit whose action space must equal the seven incentive
+    /// levels and whose context space must equal the four temporal contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandit's action or context arity does not match.
+    pub fn new(bandit: Box<dyn CostedBandit>, normalizer: PayoffNormalizer) -> Self {
+        assert_eq!(
+            bandit.config().actions(),
+            IncentiveLevel::COUNT,
+            "bandit must have one action per incentive level"
+        );
+        assert_eq!(
+            bandit.config().contexts(),
+            TemporalContext::COUNT,
+            "bandit must have one context per temporal context"
+        );
+        Self { bandit, normalizer }
+    }
+
+    /// Chooses an incentive for one query in `context`, charging the bandit
+    /// budget. Returns `None` when the budget is exhausted.
+    pub fn choose(&mut self, context: TemporalContext) -> Option<IncentiveLevel> {
+        self.bandit
+            .select(context.index())
+            .map(IncentiveLevel::from_index)
+    }
+
+    /// Feeds an observed query delay back to the learner.
+    pub fn report_delay(
+        &mut self,
+        context: TemporalContext,
+        incentive: IncentiveLevel,
+        delay_secs: f64,
+    ) {
+        let payoff = self.normalizer.payoff(delay_secs);
+        self.bandit
+            .observe(context.index(), incentive.index(), payoff);
+    }
+
+    /// Remaining budget in cents.
+    pub fn remaining_budget_cents(&self) -> f64 {
+        self.bandit.remaining_budget()
+    }
+
+    /// The underlying policy's name (for reports).
+    pub fn policy_name(&self) -> &str {
+        self.bandit.name()
+    }
+}
+
+impl std::fmt::Debug for IncentivePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncentivePolicy")
+            .field("policy", &self.bandit.name())
+            .field("remaining_budget", &self.bandit.remaining_budget())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdlearn_bandit::{BanditConfig, FixedPolicy, UcbAlp};
+
+    fn config(budget: f64, horizon: u64) -> BanditConfig {
+        BanditConfig::new(
+            TemporalContext::COUNT,
+            IncentiveLevel::costs(),
+            budget,
+            horizon,
+        )
+    }
+
+    #[test]
+    fn payoff_maps_delay_inversely() {
+        let n = PayoffNormalizer::new(1000.0);
+        assert_eq!(n.payoff(0.0), 1.0);
+        assert!((n.payoff(500.0) - 0.5).abs() < 1e-12);
+        assert_eq!(n.payoff(2000.0), 0.0);
+    }
+
+    #[test]
+    fn choose_and_report_round_trip() {
+        let bandit = UcbAlp::new(config(100.0, 20), 3);
+        let mut ipd = IncentivePolicy::new(Box::new(bandit), PayoffNormalizer::paper());
+        let level = ipd.choose(TemporalContext::Morning).expect("budget left");
+        ipd.report_delay(TemporalContext::Morning, level, 300.0);
+        assert!(ipd.remaining_budget_cents() < 100.0);
+    }
+
+    #[test]
+    fn fixed_policy_reports_its_level() {
+        let bandit = FixedPolicy::new(config(100.0, 20), IncentiveLevel::C10.index());
+        let mut ipd = IncentivePolicy::new(Box::new(bandit), PayoffNormalizer::paper());
+        assert_eq!(ipd.choose(TemporalContext::Evening), Some(IncentiveLevel::C10));
+        assert_eq!(ipd.policy_name(), "fixed");
+    }
+
+    #[test]
+    fn exhausts_budget_to_none() {
+        let bandit = FixedPolicy::new(config(2.0, 10), IncentiveLevel::C1.index());
+        let mut ipd = IncentivePolicy::new(Box::new(bandit), PayoffNormalizer::paper());
+        assert!(ipd.choose(TemporalContext::Morning).is_some());
+        assert!(ipd.choose(TemporalContext::Morning).is_some());
+        assert!(ipd.choose(TemporalContext::Morning).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one action per incentive level")]
+    fn rejects_wrong_action_arity() {
+        let bandit = UcbAlp::new(
+            BanditConfig::new(TemporalContext::COUNT, vec![1.0, 2.0], 10.0, 5),
+            0,
+        );
+        IncentivePolicy::new(Box::new(bandit), PayoffNormalizer::paper());
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be non-negative")]
+    fn rejects_negative_delay() {
+        PayoffNormalizer::paper().payoff(-1.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! CrowdLearn: a crowd-AI hybrid system for deep-learning-based disaster
+//! damage assessment — a full reproduction of the ICDCS 2019 paper.
+//!
+//! The system welds a committee of black-box AI classifiers to a black-box
+//! crowdsourcing platform through four modules, run as a closed loop over
+//! sensing cycles (paper Figure 4):
+//!
+//! 1. [`QuerySetSelector`] (**QSS**, §IV-A) — query-by-committee entropy
+//!    (Eqs. 2-3) with ε-greedy exploration picks which images to send to the
+//!    crowd, catching both *uncertain* images and images the committee is
+//!    *confidently wrong* about.
+//! 2. [`IncentivePolicy`] (**IPD**, §IV-B) — a constrained contextual bandit
+//!    chooses the incentive for each query to minimize crowd response delay
+//!    under a global budget (Eq. 4).
+//! 3. [`QualityController`] (**CQC**, §IV-C) — a gradient-boosting model
+//!    over worker labels *and* questionnaire evidence distills truthful
+//!    labels from noisy crowd responses.
+//! 4. [`Calibrator`] (**MIC**, §IV-D) — the truthful labels drive three
+//!    simultaneous calibration strategies: Hedge expert-weight updates from
+//!    the symmetric-KL loss (Eq. 5), committee retraining, and crowd
+//!    offloading (human labels replace AI labels on the query set).
+//!
+//! [`CrowdLearnSystem`] wires the modules together; [`baselines`] holds the
+//! evaluation's competitors (AI-only runners, `Hybrid-Para`, `Hybrid-AL`);
+//! [`SchemeReport`] is the common measurement output every experiment
+//! consumes.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
+//! use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+//!
+//! let dataset = Dataset::generate(&DatasetConfig::paper());
+//! let stream = SensingCycleStream::paper(&dataset);
+//! let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+//! let report = system.run(&dataset, &stream);
+//! println!("accuracy = {:.3}", report.confusion.accuracy());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod calibration;
+mod committee;
+mod cqc;
+mod ipd;
+mod qss;
+mod report;
+mod system;
+mod trace;
+
+pub use calibration::{normalized_symmetric_kl, Calibrator, CalibratorConfig};
+pub use committee::Committee;
+pub use cqc::{QualityController, QueryFeatures};
+pub use ipd::{IncentivePolicy, PayoffNormalizer};
+pub use qss::QuerySetSelector;
+pub use report::{CycleOutcome, SchemeReport};
+pub use trace::{CycleTrace, RunTrace};
+pub use system::{CrowdLearnConfig, CrowdLearnSystem, IncentivePolicyKind};

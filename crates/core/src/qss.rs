@@ -1,0 +1,163 @@
+//! Query Set Selection (paper §IV-A, Algorithm 1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The ε-greedy entropy-ranked query selector.
+///
+/// Given the committee entropy of every image in a sensing cycle, the
+/// selector picks `Y` images for the crowd: with probability `1 - ε` the
+/// highest-entropy remaining image (exploitation: images the committee is
+/// uncertain about), and with probability `ε` a uniformly random remaining
+/// image (exploration: catches images where every expert is confidently
+/// wrong — fake images never rank high on entropy).
+///
+/// # Example
+///
+/// ```
+/// use crowdlearn::QuerySetSelector;
+///
+/// let mut qss = QuerySetSelector::new(0.0, 1); // pure exploitation
+/// let entropies = [0.1, 0.9, 0.5, 0.7];
+/// let picked = qss.select(&entropies, 2);
+/// assert_eq!(picked, vec![1, 3]); // the two highest entropies
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuerySetSelector {
+    epsilon: f64,
+    rng: StdRng,
+}
+
+impl QuerySetSelector {
+    /// Creates a selector with exploration rate `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `[0, 1]`.
+    pub fn new(epsilon: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        Self {
+            epsilon,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Selects up to `count` indices into `entropies` (Algorithm 1). Picks
+    /// are distinct; if `count >= entropies.len()` every index is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entropy is NaN.
+    pub fn select(&mut self, entropies: &[f64], count: usize) -> Vec<usize> {
+        assert!(
+            entropies.iter().all(|e| !e.is_nan()),
+            "entropies must not be NaN"
+        );
+        // Sorted list, highest entropy first (the paper's s_list).
+        let mut s_list: Vec<usize> = (0..entropies.len()).collect();
+        s_list.sort_by(|&a, &b| {
+            entropies[b]
+                .partial_cmp(&entropies[a])
+                .expect("no NaN entropies")
+        });
+
+        let take = count.min(s_list.len());
+        let mut output = Vec::with_capacity(take);
+        for _ in 0..take {
+            let pick = if self.rng.gen::<f64>() < self.epsilon {
+                // Exploration: uniform over the remaining list.
+                self.rng.gen_range(0..s_list.len())
+            } else {
+                // Exploitation: pop the highest-entropy remaining image.
+                0
+            };
+            output.push(s_list.remove(pick));
+        }
+        output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_epsilon_returns_top_entropy_order() {
+        let mut qss = QuerySetSelector::new(0.0, 7);
+        let entropies = [0.3, 1.0, 0.0, 0.8, 0.5];
+        assert_eq!(qss.select(&entropies, 3), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn selections_are_distinct() {
+        let mut qss = QuerySetSelector::new(0.5, 9);
+        let entropies: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        for _ in 0..50 {
+            let picked = qss.select(&entropies, 10);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "duplicates in {picked:?}");
+        }
+    }
+
+    #[test]
+    fn count_larger_than_pool_returns_everything() {
+        let mut qss = QuerySetSelector::new(0.2, 3);
+        let picked = qss.select(&[0.5, 0.1], 10);
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn exploration_eventually_picks_low_entropy_images() {
+        // Image 0 has the lowest entropy; with epsilon > 0 it must
+        // eventually be selected even for count=1 — this is exactly how
+        // confidently-wrong fakes get caught.
+        let mut qss = QuerySetSelector::new(0.3, 11);
+        let entropies = [0.01, 0.9, 0.8, 0.85, 0.95];
+        let mut hit = 0;
+        for _ in 0..300 {
+            if qss.select(&entropies, 1)[0] == 0 {
+                hit += 1;
+            }
+        }
+        // epsilon * 1/5 = 6% expected.
+        assert!(hit > 5, "low-entropy image picked only {hit}/300 times");
+    }
+
+    #[test]
+    fn pure_exploration_is_roughly_uniform() {
+        let mut qss = QuerySetSelector::new(1.0, 13);
+        let entropies = [0.0, 0.5, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[qss.select(&entropies, 1)[0]] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 3000.0 - 1.0 / 3.0).abs() < 0.05, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let mut qss = QuerySetSelector::new(0.2, 5);
+        assert!(qss.select(&[], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn bad_epsilon_rejected() {
+        QuerySetSelector::new(-0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_entropy_rejected() {
+        QuerySetSelector::new(0.1, 0).select(&[f64::NAN], 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Common measurement output for every evaluated scheme.
+
+use crowdlearn_classifiers::ClassDistribution;
+use crowdlearn_dataset::{DamageLabel, ImageId, TemporalContext};
+use crowdlearn_metrics::{macro_average_roc, ConfusionMatrix, RocCurve, SummaryStats};
+use serde::{Deserialize, Serialize};
+
+/// One image's outcome within a cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageOutcome {
+    /// The image.
+    pub image: ImageId,
+    /// Ground truth.
+    pub truth: DamageLabel,
+    /// The scheme's final label.
+    pub predicted: DamageLabel,
+    /// The scheme's final label distribution (for ROC curves).
+    pub distribution: ClassDistribution,
+    /// Whether this image was sent to the crowd.
+    pub queried: bool,
+}
+
+/// Everything a scheme produced in one sensing cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleOutcome {
+    /// Cycle index.
+    pub cycle: usize,
+    /// Temporal context of the cycle.
+    pub context: TemporalContext,
+    /// Per-image outcomes.
+    pub images: Vec<ImageOutcome>,
+    /// Seconds of AI/module computation this cycle.
+    pub algorithm_delay_secs: f64,
+    /// Mean query-completion delay this cycle (`None` for AI-only schemes or
+    /// cycles without queries).
+    pub crowd_delay_secs: Option<f64>,
+    /// Cents spent on the crowd this cycle.
+    pub spent_cents: u64,
+}
+
+/// Accumulated evaluation of one scheme across a full run — the unit every
+/// table and figure of the paper is computed from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchemeReport {
+    /// Scheme name (Table II row label).
+    pub name: String,
+    /// Final-label confusion matrix over all streamed images.
+    pub confusion: ConfusionMatrix,
+    /// Per-image score vectors (class probabilities), aligned with `truths`.
+    pub scores: Vec<Vec<f64>>,
+    /// Ground-truth class indices, aligned with `scores`.
+    pub truths: Vec<usize>,
+    /// Per-cycle algorithm delay samples.
+    pub algorithm_delay: SummaryStats,
+    /// Per-cycle crowd delay samples (cycles with queries only).
+    pub crowd_delay: SummaryStats,
+    /// Crowd delay split by temporal context (Figure 8 series).
+    pub crowd_delay_by_context: Vec<SummaryStats>,
+    /// Total cents spent on the crowd.
+    pub spent_cents: u64,
+    /// Number of cycles recorded.
+    pub cycles: usize,
+    /// Number of images sent to the crowd.
+    pub queries_issued: usize,
+}
+
+impl SchemeReport {
+    /// Creates an empty report for a scheme.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            confusion: ConfusionMatrix::new(DamageLabel::COUNT),
+            scores: Vec::new(),
+            truths: Vec::new(),
+            algorithm_delay: SummaryStats::new(),
+            crowd_delay: SummaryStats::new(),
+            crowd_delay_by_context: (0..TemporalContext::COUNT)
+                .map(|_| SummaryStats::new())
+                .collect(),
+            spent_cents: 0,
+            cycles: 0,
+            queries_issued: 0,
+        }
+    }
+
+    /// Folds one cycle's outcome into the report.
+    pub fn record_cycle(&mut self, outcome: &CycleOutcome) {
+        for img in &outcome.images {
+            self.confusion.record(img.truth.index(), img.predicted.index());
+            self.scores.push(img.distribution.probs().to_vec());
+            self.truths.push(img.truth.index());
+            self.queries_issued += usize::from(img.queried);
+        }
+        self.algorithm_delay.push(outcome.algorithm_delay_secs);
+        if let Some(d) = outcome.crowd_delay_secs {
+            self.crowd_delay.push(d);
+            self.crowd_delay_by_context[outcome.context.index()].push(d);
+        }
+        self.spent_cents += outcome.spent_cents;
+        self.cycles += 1;
+    }
+
+    /// Classification accuracy over all streamed images.
+    pub fn accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+
+    /// Macro-averaged F1 (the Table II headline).
+    pub fn macro_f1(&self) -> f64 {
+        self.confusion.macro_f1()
+    }
+
+    /// Macro-average one-vs-rest ROC curve (Figure 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no images have been recorded.
+    pub fn roc(&self) -> RocCurve {
+        macro_average_roc(&self.scores, &self.truths, DamageLabel::COUNT)
+    }
+
+    /// Mean per-cycle algorithm delay (Table III column 1).
+    pub fn mean_algorithm_delay_secs(&self) -> f64 {
+        self.algorithm_delay.mean()
+    }
+
+    /// Mean per-cycle crowd delay (Table III column 2); `None` for AI-only
+    /// schemes.
+    pub fn mean_crowd_delay_secs(&self) -> Option<f64> {
+        if self.crowd_delay.is_empty() {
+            None
+        } else {
+            Some(self.crowd_delay.mean())
+        }
+    }
+
+    /// Mean crowd delay for one temporal context (Figure 8 bars).
+    pub fn mean_crowd_delay_in(&self, context: TemporalContext) -> Option<f64> {
+        let stats = &self.crowd_delay_by_context[context.index()];
+        if stats.is_empty() {
+            None
+        } else {
+            Some(stats.mean())
+        }
+    }
+
+    /// Dollars spent on the crowd.
+    pub fn spent_usd(&self) -> f64 {
+        self.spent_cents as f64 / 100.0
+    }
+
+    /// Per-image correctness indicators, in stream order — the paired input
+    /// for McNemar comparisons between schemes run on the same stream.
+    pub fn correctness(&self) -> Vec<bool> {
+        self.scores
+            .iter()
+            .zip(&self.truths)
+            .map(|(probs, &truth)| {
+                let argmax = probs
+                    .iter()
+                    .enumerate()
+                    .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0;
+                argmax == truth
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(cycle: usize, context: TemporalContext, correct: bool) -> CycleOutcome {
+        let truth = DamageLabel::Severe;
+        let predicted = if correct { truth } else { DamageLabel::NoDamage };
+        CycleOutcome {
+            cycle,
+            context,
+            images: vec![ImageOutcome {
+                image: ImageId(cycle as u32),
+                truth,
+                predicted,
+                distribution: ClassDistribution::delta(predicted),
+                queried: correct,
+            }],
+            algorithm_delay_secs: 50.0,
+            crowd_delay_secs: Some(300.0),
+            spent_cents: 10,
+        }
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut r = SchemeReport::new("test");
+        r.record_cycle(&outcome(0, TemporalContext::Morning, true));
+        r.record_cycle(&outcome(1, TemporalContext::Evening, false));
+        assert_eq!(r.cycles, 2);
+        assert_eq!(r.queries_issued, 1);
+        assert_eq!(r.spent_cents, 20);
+        assert!((r.accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(r.mean_algorithm_delay_secs(), 50.0);
+        assert_eq!(r.mean_crowd_delay_secs(), Some(300.0));
+        assert_eq!(r.mean_crowd_delay_in(TemporalContext::Morning), Some(300.0));
+        assert_eq!(r.mean_crowd_delay_in(TemporalContext::Afternoon), None);
+    }
+
+    #[test]
+    fn ai_only_reports_have_no_crowd_delay() {
+        let mut r = SchemeReport::new("VGG16");
+        let mut o = outcome(0, TemporalContext::Morning, true);
+        o.crowd_delay_secs = None;
+        o.spent_cents = 0;
+        r.record_cycle(&o);
+        assert_eq!(r.mean_crowd_delay_secs(), None);
+        assert_eq!(r.spent_usd(), 0.0);
+    }
+
+    #[test]
+    fn correctness_matches_the_confusion_matrix() {
+        let mut r = SchemeReport::new("test");
+        for i in 0..8 {
+            r.record_cycle(&outcome(i, TemporalContext::Morning, i % 3 != 0));
+        }
+        let correctness = r.correctness();
+        let correct = correctness.iter().filter(|&&c| c).count() as f64;
+        assert!((correct / correctness.len() as f64 - r.accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_runs_on_recorded_scores() {
+        let mut r = SchemeReport::new("test");
+        for i in 0..6 {
+            r.record_cycle(&outcome(i, TemporalContext::Morning, i % 2 == 0));
+        }
+        let roc = r.roc();
+        assert!(roc.auc() >= 0.0 && roc.auc() <= 1.0);
+    }
+}

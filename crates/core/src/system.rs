@@ -1,0 +1,615 @@
+//! The closed-loop CrowdLearn system (paper Figure 4).
+
+use crate::{
+    normalized_symmetric_kl, Calibrator, CalibratorConfig, Committee, IncentivePolicy,
+    PayoffNormalizer, QualityController, QuerySetSelector, SchemeReport,
+};
+use crate::report::{CycleOutcome, ImageOutcome};
+use crowdlearn_bandit::{BanditConfig, CostedBandit, EpsilonGreedy, FixedPolicy, RandomPolicy, UcbAlp};
+use crowdlearn_classifiers::{profiles, ClassDistribution, Classifier};
+use crowdlearn_crowd::{IncentiveLevel, Platform, PlatformConfig};
+use crowdlearn_dataset::{
+    DamageLabel, Dataset, LabeledImage, SensingCycle, SensingCycleStream, TemporalContext,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which incentive policy drives IPD — CrowdLearn proper uses
+/// [`IncentivePolicyKind::UcbAlp`]; the others are the Figure 8 comparisons
+/// and ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncentivePolicyKind {
+    /// The constrained contextual bandit (UCB + adaptive LP) of §IV-B.
+    UcbAlp,
+    /// Budget-aware contextual ε-greedy (ablation).
+    EpsilonGreedy,
+    /// Fixed incentive: the largest level affordable at `budget / horizon`
+    /// per query (the paper's fixed baseline).
+    FixedMax,
+    /// Uniformly random affordable incentives.
+    Random,
+}
+
+/// Full configuration of a CrowdLearn run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdLearnConfig {
+    /// Images sent to the crowd per sensing cycle (paper: 5 of 10).
+    pub queries_per_cycle: usize,
+    /// QSS exploration rate ε.
+    pub epsilon: f64,
+    /// Hedge learning rate for MIC's expert-weight updates.
+    pub hedge_eta: f64,
+    /// Total crowd budget for the evaluation run, in cents.
+    pub budget_cents: f64,
+    /// Expected total number of queries (the bandit horizon `T`).
+    pub horizon_queries: u64,
+    /// The incentive policy driving IPD.
+    pub policy: IncentivePolicyKind,
+    /// Which MIC strategies are active.
+    pub calibration: CalibratorConfig,
+    /// Bandit warm-up observations per (context, incentive) cell, taken on
+    /// training images before the evaluation run (the paper trains IPD on
+    /// the training split).
+    pub warmup_per_cell: usize,
+    /// Training-split queries used to fit the CQC boosting model.
+    pub cqc_training_queries: usize,
+    /// Seconds of per-cycle overhead for the QSS/IPD/CQC/MIC modules
+    /// (calibrated so Table III's CrowdLearn algorithm delay ≈ 55.62 s).
+    pub module_overhead_secs: f64,
+    /// Optional actionability deadline, in seconds: a crowd answer can only
+    /// *offload* (replace the AI label of) its image if it arrives within
+    /// this window — a late answer still trains CQC-facing feedback paths
+    /// (weight updates, retraining) but the cycle's labels have already been
+    /// delegated to responders (paper Definition 1: a sensing cycle lasts 10
+    /// minutes). `None` (the paper evaluation's setting, where all measured
+    /// delays fit the cycle) disables the cutoff.
+    pub offload_deadline_secs: Option<f64>,
+    /// Seed for QSS/committee randomness.
+    pub seed: u64,
+    /// Seed for the simulated platform.
+    pub platform_seed: u64,
+}
+
+impl CrowdLearnConfig {
+    /// The paper's evaluation setup: 5 queries per 10-image cycle, a 200
+    /// query horizon (40 cycles), a $10 crowd budget, and all calibration
+    /// strategies on.
+    pub fn paper() -> Self {
+        Self {
+            queries_per_cycle: 5,
+            epsilon: 0.2,
+            hedge_eta: 0.1,
+            budget_cents: 1000.0,
+            horizon_queries: 200,
+            policy: IncentivePolicyKind::UcbAlp,
+            calibration: CalibratorConfig::paper(),
+            warmup_per_cell: 12,
+            cqc_training_queries: 1120,
+            module_overhead_secs: 3.05,
+            offload_deadline_secs: None,
+            seed: 0xc0ffee,
+            platform_seed: 0x5eed,
+        }
+    }
+
+    /// Sets the number of crowd queries per cycle (Figure 9 sweep), scaling
+    /// the bandit horizon and the budget so the per-query budget share stays
+    /// at the paper's default (5 cents over a 40-cycle run). Override the
+    /// budget afterwards with [`CrowdLearnConfig::with_budget_cents`] if a
+    /// different share is wanted.
+    pub fn with_queries_per_cycle(mut self, n: usize) -> Self {
+        self.queries_per_cycle = n;
+        self.horizon_queries = (40 * n).max(1) as u64;
+        self.budget_cents = (200 * n) as f64;
+        self
+    }
+
+    /// Sets the total budget in cents (Figures 10-11 sweep).
+    pub fn with_budget_cents(mut self, cents: f64) -> Self {
+        self.budget_cents = cents;
+        self
+    }
+
+    /// Sets the incentive policy (Figure 8 comparison).
+    pub fn with_policy(mut self, policy: IncentivePolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the MIC strategy switches (ablations).
+    pub fn with_calibration(mut self, calibration: CalibratorConfig) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Sets the QSS exploration rate (ablation).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the offload-actionability deadline (see the field docs).
+    pub fn with_offload_deadline_secs(mut self, deadline: Option<f64>) -> Self {
+        self.offload_deadline_secs = deadline;
+        self
+    }
+
+    /// Sets both RNG seeds from one value (repeated-trial decorrelation).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.platform_seed = seed.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+        self
+    }
+
+    fn validate(&self) {
+        assert!((0.0..=1.0).contains(&self.epsilon), "epsilon must be in [0, 1]");
+        assert!(self.hedge_eta > 0.0, "hedge eta must be positive");
+        assert!(self.budget_cents >= 0.0, "budget must be non-negative");
+        assert!(self.horizon_queries > 0, "horizon must be positive");
+        assert!(
+            self.module_overhead_secs >= 0.0,
+            "module overhead must be non-negative"
+        );
+        if let Some(d) = self.offload_deadline_secs {
+            assert!(d > 0.0, "offload deadline must be positive");
+        }
+    }
+}
+
+impl Default for CrowdLearnConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The assembled CrowdLearn system: committee + QSS + IPD + CQC + MIC over a
+/// simulated platform. See the crate docs for the per-cycle workflow.
+pub struct CrowdLearnSystem {
+    config: CrowdLearnConfig,
+    committee: Committee,
+    qss: QuerySetSelector,
+    ipd: IncentivePolicy,
+    cqc: QualityController,
+    calibrator: Calibrator,
+    platform: Platform,
+    bootstrap_spent_cents: u64,
+}
+
+impl CrowdLearnSystem {
+    /// Boots the system: trains the committee on the training split, fits
+    /// CQC on training-split crowd responses, and warms up the incentive
+    /// bandit — exactly the three uses the paper assigns to its training
+    /// set (§V-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the dataset's training
+    /// split is empty.
+    pub fn new(dataset: &Dataset, config: CrowdLearnConfig) -> Self {
+        config.validate();
+        assert!(!dataset.train().is_empty(), "training split must be non-empty");
+
+        let mut platform = Platform::new(PlatformConfig::paper().with_seed(config.platform_seed));
+
+        // 1. Train the committee experts on ground-truth labels.
+        let train: Vec<LabeledImage> = dataset
+            .train()
+            .iter()
+            .cloned()
+            .map(LabeledImage::ground_truth)
+            .collect();
+        let members: Vec<Box<dyn Classifier>> = profiles::paper_committee(config.seed)
+            .into_iter()
+            .map(|mut e| {
+                e.retrain(&train);
+                Box::new(e) as Box<dyn Classifier>
+            })
+            .collect();
+        let committee = Committee::new(members, config.hedge_eta);
+
+        // 2. Fit CQC on crowd responses over training images (truth known).
+        let mut cqc = QualityController::paper();
+        let mut cqc_examples = Vec::with_capacity(config.cqc_training_queries);
+        for i in 0..config.cqc_training_queries {
+            let img = &dataset.train()[i % dataset.train().len()];
+            let context = TemporalContext::from_index(i % TemporalContext::COUNT);
+            let level = IncentiveLevel::from_index((i / 3) % IncentiveLevel::COUNT);
+            let resp = platform.submit(img, level, context);
+            cqc_examples.push((resp, img.truth()));
+        }
+        if !cqc_examples.is_empty() {
+            cqc.train(&cqc_examples);
+        }
+
+        // 3. Build the incentive bandit and warm it up with observed delays
+        //    from the training split (observations are free of budget).
+        // The paper's temporal contexts are uniform by construction (10
+        // cycles each), so the bandit is told so; otherwise the block
+        // ordering of contexts would poison its empirical estimate.
+        let bandit_config = BanditConfig::new(
+            TemporalContext::COUNT,
+            IncentiveLevel::costs(),
+            config.budget_cents,
+            config.horizon_queries,
+        )
+        .with_context_distribution(vec![1.0 / TemporalContext::COUNT as f64; TemporalContext::COUNT]);
+        let bandit: Box<dyn CostedBandit> = match config.policy {
+            IncentivePolicyKind::UcbAlp => Box::new(UcbAlp::new(bandit_config, config.seed ^ 0xa1)),
+            IncentivePolicyKind::EpsilonGreedy => {
+                Box::new(EpsilonGreedy::new(bandit_config, 0.1, config.seed ^ 0xa2))
+            }
+            IncentivePolicyKind::FixedMax => Box::new(FixedPolicy::max_affordable(bandit_config)),
+            IncentivePolicyKind::Random => {
+                Box::new(RandomPolicy::new(bandit_config, config.seed ^ 0xa3))
+            }
+        };
+        let mut ipd = IncentivePolicy::new(bandit, PayoffNormalizer::paper());
+        let mut warm_i = 0usize;
+        for _ in 0..config.warmup_per_cell {
+            for &context in &TemporalContext::ALL {
+                for &level in &IncentiveLevel::ALL {
+                    let img = &dataset.train()[warm_i % dataset.train().len()];
+                    warm_i += 1;
+                    let resp = platform.submit(img, level, context);
+                    ipd.report_delay(context, level, resp.completion_delay_secs);
+                }
+            }
+        }
+
+        let bootstrap_spent_cents = platform.spent_cents();
+        Self {
+            qss: QuerySetSelector::new(config.epsilon, config.seed ^ 0x9557),
+            calibrator: Calibrator::new(config.calibration),
+            committee,
+            ipd,
+            cqc,
+            platform,
+            bootstrap_spent_cents,
+            config,
+        }
+    }
+
+    /// The committee's current Hedge weights.
+    pub fn committee_weights(&self) -> &[f64] {
+        self.committee.weights()
+    }
+
+    /// Crowd budget still available for the evaluation run, in cents.
+    pub fn remaining_budget_cents(&self) -> f64 {
+        self.ipd.remaining_budget_cents()
+    }
+
+    /// Cents spent on evaluation queries so far (bootstrap spending on the
+    /// training split is excluded, as in the paper).
+    pub fn evaluation_spent_cents(&self) -> u64 {
+        self.platform.spent_cents() - self.bootstrap_spent_cents
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CrowdLearnConfig {
+        &self.config
+    }
+
+    /// Runs one sensing cycle through the full QSS → IPD → crowd → CQC →
+    /// MIC loop and returns the cycle's outcome.
+    pub fn run_cycle(&mut self, cycle: &SensingCycle, dataset: &Dataset) -> CycleOutcome {
+        let images = cycle.images(dataset);
+        let spent_before = self.platform.spent_cents();
+
+        // Expert votes are computed once per cycle and cached: final labels
+        // mix these cached votes under the *updated* weights (the paper uses
+        // updated weights for the current cycle's labels, but retrained
+        // models only from the next cycle on).
+        let member_votes: Vec<Vec<ClassDistribution>> =
+            images.iter().map(|img| self.committee.votes(img)).collect();
+        let weights_now = self.committee.weights().to_vec();
+        let entropies: Vec<f64> = member_votes
+            .iter()
+            .map(|votes| {
+                ClassDistribution::weighted_mixture(weights_now.iter().copied().zip(votes.iter()))
+                    .entropy()
+            })
+            .collect();
+
+        // ① QSS selects the query set.
+        let picked = self.qss.select(&entropies, self.config.queries_per_cycle);
+
+        // ② IPD incentivizes each query; ③ the crowd answers and CQC
+        //    distills truthful label distributions.
+        let mut truthful: Vec<(usize, ClassDistribution)> = Vec::with_capacity(picked.len());
+        let mut in_time = Vec::with_capacity(picked.len());
+        let mut query_delays = Vec::with_capacity(picked.len());
+        for &idx in &picked {
+            let Some(level) = self.ipd.choose(cycle.context) else {
+                break; // budget exhausted: remaining picks stay AI-labeled
+            };
+            let response = self.platform.submit(images[idx], level, cycle.context);
+            self.ipd
+                .report_delay(cycle.context, level, response.completion_delay_secs);
+            query_delays.push(response.completion_delay_secs);
+            in_time.push(
+                self.config
+                    .offload_deadline_secs
+                    .map_or(true, |d| response.completion_delay_secs <= d),
+            );
+            truthful.push((idx, self.cqc.infer(&response)));
+        }
+
+        // ④ MIC: Hedge weight update from the Eq. 5 losses.
+        if self.calibrator.config().update_weights && !truthful.is_empty() {
+            let mut losses = vec![0.0; self.committee.len()];
+            for (idx, dist) in &truthful {
+                for (loss, vote) in losses.iter_mut().zip(&member_votes[*idx]) {
+                    *loss += normalized_symmetric_kl(vote.symmetric_kl(dist));
+                }
+            }
+            for loss in &mut losses {
+                *loss /= truthful.len() as f64;
+            }
+            self.committee.update_weights(&losses);
+        }
+
+        // Final labels: committee vote under updated weights, with crowd
+        // offloading overriding the query set.
+        let weights_updated = self.committee.weights().to_vec();
+        let mut outcomes = Vec::with_capacity(images.len());
+        for (i, img) in images.iter().enumerate() {
+            let offloaded = self
+                .calibrator
+                .config()
+                .offload
+                .then(|| {
+                    truthful
+                        .iter()
+                        .zip(&in_time)
+                        .find(|((idx, _), _)| *idx == i)
+                        .filter(|(_, &timely)| timely)
+                        .map(|(t, _)| t)
+                })
+                .flatten();
+            let distribution = match offloaded {
+                Some((_, dist)) => dist.clone(),
+                None => ClassDistribution::weighted_mixture(
+                    weights_updated.iter().copied().zip(member_votes[i].iter()),
+                ),
+            };
+            outcomes.push(ImageOutcome {
+                image: img.id(),
+                truth: img.truth(),
+                predicted: distribution.argmax(),
+                distribution,
+                queried: truthful.iter().any(|(idx, _)| *idx == i),
+            });
+        }
+
+        // ④ (continued) MIC: retrain the committee for the next cycle.
+        if self.calibrator.config().retrain && !truthful.is_empty() {
+            let samples: Vec<LabeledImage> = truthful
+                .iter()
+                .map(|(idx, dist)| LabeledImage::new(images[*idx].clone(), dist.argmax()))
+                .collect();
+            self.committee.retrain(&samples);
+        }
+
+        let algorithm_delay_secs = self
+            .committee
+            .execution_delay_secs(images.len(), cycle.index as u64)
+            + self.config.module_overhead_secs;
+        let crowd_delay_secs = if query_delays.is_empty() {
+            None
+        } else {
+            Some(query_delays.iter().sum::<f64>() / query_delays.len() as f64)
+        };
+
+        CycleOutcome {
+            cycle: cycle.index,
+            context: cycle.context,
+            images: outcomes,
+            algorithm_delay_secs,
+            crowd_delay_secs,
+            spent_cents: self.platform.spent_cents() - spent_before,
+        }
+    }
+
+    /// Runs the full stream and accumulates a [`SchemeReport`].
+    pub fn run(&mut self, dataset: &Dataset, stream: &SensingCycleStream) -> SchemeReport {
+        self.run_traced(dataset, stream).0
+    }
+
+    /// Runs the full stream, additionally recording the per-cycle trajectory
+    /// (accuracy over time, weight evolution, spend pacing) as a
+    /// [`crate::RunTrace`].
+    pub fn run_traced(
+        &mut self,
+        dataset: &Dataset,
+        stream: &SensingCycleStream,
+    ) -> (SchemeReport, crate::RunTrace) {
+        let mut report = SchemeReport::new("CrowdLearn");
+        let mut trace = crate::RunTrace::new();
+        for cycle in stream {
+            let outcome = self.run_cycle(cycle, dataset);
+            let correct = outcome
+                .images
+                .iter()
+                .filter(|img| img.predicted == img.truth)
+                .count();
+            trace.push(crate::CycleTrace {
+                cycle: outcome.cycle,
+                context: outcome.context,
+                accuracy: correct as f64 / outcome.images.len().max(1) as f64,
+                queries: outcome.images.iter().filter(|img| img.queried).count(),
+                crowd_delay_secs: outcome.crowd_delay_secs,
+                spent_cents: outcome.spent_cents,
+                committee_weights: self.committee.weights().to_vec(),
+            });
+            report.record_cycle(&outcome);
+        }
+        (report, trace)
+    }
+
+    /// Convenience accessor for truth labels of a cycle (test support).
+    pub fn truth_of(dataset: &Dataset, cycle: &SensingCycle) -> Vec<DamageLabel> {
+        cycle.images(dataset).iter().map(|i| i.truth()).collect()
+    }
+}
+
+impl std::fmt::Debug for CrowdLearnSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrowdLearnSystem")
+            .field("config", &self.config)
+            .field("committee", &self.committee)
+            .field("remaining_budget_cents", &self.remaining_budget_cents())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdlearn_dataset::DatasetConfig;
+
+    fn paper_run(config: CrowdLearnConfig) -> SchemeReport {
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        let stream = SensingCycleStream::paper(&dataset);
+        let mut system = CrowdLearnSystem::new(&dataset, config);
+        system.run(&dataset, &stream)
+    }
+
+    #[test]
+    fn paper_run_hits_table2_band() {
+        let report = paper_run(CrowdLearnConfig::paper());
+        // Paper Table II: CrowdLearn accuracy 0.877, F1 0.894. The
+        // multi-seed mean of this reproduction is 0.842 (see
+        // `crowdlearn-bench --bin calibrate`); the band below admits the
+        // per-seed spread around it.
+        assert!(
+            (report.accuracy() - 0.877).abs() < 0.062,
+            "accuracy {} outside Table II band",
+            report.accuracy()
+        );
+        assert!(
+            report.macro_f1() > 0.82,
+            "macro F1 {} too low",
+            report.macro_f1()
+        );
+        assert_eq!(report.cycles, 40);
+        assert_eq!(report.queries_issued, 200);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let config = CrowdLearnConfig::paper().with_budget_cents(300.0);
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        let stream = SensingCycleStream::paper(&dataset);
+        let mut system = CrowdLearnSystem::new(&dataset, config);
+        let report = system.run(&dataset, &stream);
+        assert!(
+            report.spent_cents as f64 <= 300.0 + 1e-9,
+            "spent {} cents of 300",
+            report.spent_cents
+        );
+    }
+
+    #[test]
+    fn zero_queries_degrades_to_pure_committee() {
+        let report = paper_run(CrowdLearnConfig::paper().with_queries_per_cycle(0));
+        assert_eq!(report.queries_issued, 0);
+        assert_eq!(report.spent_cents, 0);
+        // Figure 9: at 0% query set CrowdLearn degrades to Ensemble-level
+        // accuracy (~0.815).
+        assert!(
+            (report.accuracy() - 0.815).abs() < 0.06,
+            "0-query accuracy {} should be ensemble-like",
+            report.accuracy()
+        );
+    }
+
+    #[test]
+    fn more_queries_help() {
+        let low = paper_run(CrowdLearnConfig::paper().with_queries_per_cycle(1));
+        let high = paper_run(CrowdLearnConfig::paper().with_queries_per_cycle(8));
+        assert!(
+            high.accuracy() > low.accuracy(),
+            "8 queries ({}) must beat 1 query ({})",
+            high.accuracy(),
+            low.accuracy()
+        );
+    }
+
+    #[test]
+    fn hedge_weights_favor_the_strongest_expert() {
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        let stream = SensingCycleStream::paper(&dataset);
+        let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+        system.run(&dataset, &stream);
+        let weights = system.committee_weights();
+        // Member order: VGG16, BoVW, DDM; DDM is the most accurate expert.
+        assert!(
+            weights[2] > weights[1],
+            "DDM must out-weigh BoVW after a full run: {weights:?}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = paper_run(CrowdLearnConfig::paper());
+        let b = paper_run(CrowdLearnConfig::paper());
+        assert_eq!(a.confusion, b.confusion);
+        assert_eq!(a.spent_cents, b.spent_cents);
+    }
+
+    #[test]
+    fn impossible_deadline_disables_offloading_but_not_learning() {
+        let strict = paper_run(
+            CrowdLearnConfig::paper().with_offload_deadline_secs(Some(1.0)),
+        );
+        let relaxed = paper_run(CrowdLearnConfig::paper());
+        // With a 1-second deadline no crowd answer is actionable, so the
+        // output degrades toward committee-only accuracy...
+        assert!(strict.accuracy() < relaxed.accuracy());
+        // ...but queries are still issued, paid for, and learned from.
+        assert_eq!(strict.queries_issued, 200);
+        assert!(strict.spent_cents > 0);
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let generous = paper_run(
+            CrowdLearnConfig::paper().with_offload_deadline_secs(Some(1e9)),
+        );
+        let unlimited = paper_run(CrowdLearnConfig::paper());
+        assert_eq!(generous.confusion, unlimited.confusion);
+    }
+
+    #[test]
+    fn traced_runs_expose_the_cycle_trajectory() {
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        let stream = SensingCycleStream::paper(&dataset);
+        let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+        let (report, trace) = system.run_traced(&dataset, &stream);
+        assert_eq!(trace.cycles().len(), 40);
+        // The trace's mean accuracy equals the report's overall accuracy
+        // (all cycles are the same size).
+        let mean: f64 = trace.cycles().iter().map(|c| c.accuracy).sum::<f64>() / 40.0;
+        assert!((mean - report.accuracy()).abs() < 1e-9);
+        // Spend pacing reconciles with the report.
+        assert_eq!(
+            *trace.cumulative_spend_cents().last().unwrap(),
+            report.spent_cents
+        );
+        assert_eq!(trace.windowed_accuracy(5).len(), 40);
+    }
+
+    #[test]
+    fn tiny_budget_still_produces_labels_for_every_image() {
+        let report = paper_run(CrowdLearnConfig::paper().with_budget_cents(20.0));
+        assert_eq!(report.confusion.total(), 400);
+        assert!(report.spent_cents <= 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn invalid_epsilon_rejected() {
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper().with_epsilon(2.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-cycle run traces: the online view of a CrowdLearn deployment
+//! (accuracy over time, weight trajectories, spend pacing) that the
+//! aggregate [`SchemeReport`] deliberately averages away.
+//!
+//! [`SchemeReport`]: crate::SchemeReport
+
+use crowdlearn_dataset::TemporalContext;
+use serde::{Deserialize, Serialize};
+
+/// One sensing cycle's summary in a [`RunTrace`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleTrace {
+    /// Cycle index.
+    pub cycle: usize,
+    /// Temporal context.
+    pub context: TemporalContext,
+    /// Fraction of this cycle's images labeled correctly.
+    pub accuracy: f64,
+    /// Number of images sent to the crowd.
+    pub queries: usize,
+    /// Mean query-completion delay, if any queries were issued.
+    pub crowd_delay_secs: Option<f64>,
+    /// Cents spent this cycle.
+    pub spent_cents: u64,
+    /// Committee weights at the end of the cycle.
+    pub committee_weights: Vec<f64>,
+}
+
+/// The cycle-by-cycle trajectory of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    cycles: Vec<CycleTrace>,
+}
+
+impl RunTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one cycle's summary.
+    pub fn push(&mut self, cycle: CycleTrace) {
+        self.cycles.push(cycle);
+    }
+
+    /// All cycle summaries, in order.
+    pub fn cycles(&self) -> &[CycleTrace] {
+        &self.cycles
+    }
+
+    /// Trailing-window moving average of per-cycle accuracy: entry `t` is
+    /// the mean accuracy of cycles `t.saturating_sub(window-1)..=t`. The
+    /// drift experiments read this to see adaptation happening.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn windowed_accuracy(&self, window: usize) -> Vec<f64> {
+        assert!(window > 0, "window must be positive");
+        (0..self.cycles.len())
+            .map(|t| {
+                let start = (t + 1).saturating_sub(window);
+                let slice = &self.cycles[start..=t];
+                slice.iter().map(|c| c.accuracy).sum::<f64>() / slice.len() as f64
+            })
+            .collect()
+    }
+
+    /// Cumulative cents spent after each cycle (budget pacing view).
+    pub fn cumulative_spend_cents(&self) -> Vec<u64> {
+        let mut total = 0;
+        self.cycles
+            .iter()
+            .map(|c| {
+                total += c.spent_cents;
+                total
+            })
+            .collect()
+    }
+
+    /// The trajectory of one expert's committee weight across cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expert` is out of range for any recorded cycle.
+    pub fn weight_trajectory(&self, expert: usize) -> Vec<f64> {
+        self.cycles
+            .iter()
+            .map(|c| c.committee_weights[expert])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(i: usize, accuracy: f64, spent: u64) -> CycleTrace {
+        CycleTrace {
+            cycle: i,
+            context: TemporalContext::from_index(i % 4),
+            accuracy,
+            queries: 5,
+            crowd_delay_secs: Some(300.0),
+            spent_cents: spent,
+            committee_weights: vec![0.5, 0.3, 0.2],
+        }
+    }
+
+    #[test]
+    fn windowed_accuracy_smooths() {
+        let mut trace = RunTrace::new();
+        for (i, acc) in [1.0, 0.0, 1.0, 0.0].into_iter().enumerate() {
+            trace.push(cycle(i, acc, 10));
+        }
+        let smoothed = trace.windowed_accuracy(2);
+        assert_eq!(smoothed, vec![1.0, 0.5, 0.5, 0.5]);
+        let raw = trace.windowed_accuracy(1);
+        assert_eq!(raw, vec![1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn cumulative_spend_accumulates() {
+        let mut trace = RunTrace::new();
+        trace.push(cycle(0, 1.0, 10));
+        trace.push(cycle(1, 1.0, 25));
+        assert_eq!(trace.cumulative_spend_cents(), vec![10, 35]);
+    }
+
+    #[test]
+    fn weight_trajectory_extracts_one_expert() {
+        let mut trace = RunTrace::new();
+        trace.push(cycle(0, 1.0, 0));
+        assert_eq!(trace.weight_trajectory(1), vec![0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        RunTrace::new().windowed_accuracy(0);
+    }
+}

@@ -1,0 +1,123 @@
+//! The seven incentive levels of the paper's action set
+//! (`A = {1, 2, 4, 6, 8, 10, 20}` cents, Definition 11).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A per-query incentive level in cents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IncentiveLevel {
+    /// 1 cent.
+    C1,
+    /// 2 cents.
+    C2,
+    /// 4 cents.
+    C4,
+    /// 6 cents.
+    C6,
+    /// 8 cents.
+    C8,
+    /// 10 cents.
+    C10,
+    /// 20 cents.
+    C20,
+}
+
+impl IncentiveLevel {
+    /// Number of incentive levels.
+    pub const COUNT: usize = 7;
+
+    /// All levels, cheapest first — the bandit action set.
+    pub const ALL: [IncentiveLevel; Self::COUNT] = [
+        IncentiveLevel::C1,
+        IncentiveLevel::C2,
+        IncentiveLevel::C4,
+        IncentiveLevel::C6,
+        IncentiveLevel::C8,
+        IncentiveLevel::C10,
+        IncentiveLevel::C20,
+    ];
+
+    /// The cost in cents.
+    pub fn cents(self) -> u32 {
+        match self {
+            IncentiveLevel::C1 => 1,
+            IncentiveLevel::C2 => 2,
+            IncentiveLevel::C4 => 4,
+            IncentiveLevel::C6 => 6,
+            IncentiveLevel::C8 => 8,
+            IncentiveLevel::C10 => 10,
+            IncentiveLevel::C20 => 20,
+        }
+    }
+
+    /// Stable index in `0..COUNT` (cheapest = 0), the bandit action id.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|l| *l == self).expect("level enumerated")
+    }
+
+    /// Inverse of [`IncentiveLevel::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= IncentiveLevel::COUNT`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL
+            .get(index)
+            .copied()
+            .unwrap_or_else(|| panic!("incentive index {index} out of range"))
+    }
+
+    /// The level matching an exact cent amount, if one exists.
+    pub fn from_cents(cents: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|l| l.cents() == cents)
+    }
+
+    /// The action-cost vector for bandit construction (in cents).
+    pub fn costs() -> Vec<f64> {
+        Self::ALL.iter().map(|l| l.cents() as f64).collect()
+    }
+}
+
+impl fmt::Display for IncentiveLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}c", self.cents())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for level in IncentiveLevel::ALL {
+            assert_eq!(IncentiveLevel::from_index(level.index()), level);
+        }
+    }
+
+    #[test]
+    fn cents_round_trip() {
+        for level in IncentiveLevel::ALL {
+            assert_eq!(IncentiveLevel::from_cents(level.cents()), Some(level));
+        }
+        assert_eq!(IncentiveLevel::from_cents(3), None);
+    }
+
+    #[test]
+    fn levels_are_sorted_by_cost() {
+        let cents: Vec<u32> = IncentiveLevel::ALL.iter().map(|l| l.cents()).collect();
+        assert!(cents.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(cents, vec![1, 2, 4, 6, 8, 10, 20]);
+    }
+
+    #[test]
+    fn costs_vector_matches() {
+        assert_eq!(IncentiveLevel::costs(), vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn display_shows_cents() {
+        assert_eq!(IncentiveLevel::C20.to_string(), "20c");
+    }
+}

@@ -1,0 +1,647 @@
+//! The black-box platform API: submit a query, get worker responses.
+
+use crate::{DelayModel, IncentiveLevel, QualityModel, QuestionnaireAnswers, WorkerPool};
+use crowdlearn_dataset::{DamageLabel, ImageAttribute, ImageId, SyntheticImage, TemporalContext};
+use crowdlearn_truth::WorkerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    pool_size: usize,
+    workers_per_query: usize,
+    seed: u64,
+    churn_rate: f64,
+    delay_model: DelayModel,
+    quality_model: QualityModel,
+}
+
+impl PlatformConfig {
+    /// The paper's setup: a large anonymous pool, 5 workers per query
+    /// ("each query is allowed to be answered by 5 workers"), and the
+    /// pilot-calibrated delay/quality surfaces.
+    pub fn paper() -> Self {
+        Self {
+            pool_size: 80,
+            workers_per_query: 5,
+            seed: 0x7c0_4d5,
+            churn_rate: 0.0,
+            delay_model: DelayModel::paper(),
+            quality_model: QualityModel::paper(),
+        }
+    }
+
+    /// Sets the RNG seed (decorrelates repeated experiment runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of workers answering each query.
+    pub fn with_workers_per_query(mut self, n: usize) -> Self {
+        self.workers_per_query = n;
+        self
+    }
+
+    /// Sets the worker-pool size.
+    pub fn with_pool_size(mut self, n: usize) -> Self {
+        self.pool_size = n;
+        self
+    }
+
+    /// Replaces the delay model (for ablations).
+    pub fn with_delay_model(mut self, model: DelayModel) -> Self {
+        self.delay_model = model;
+        self
+    }
+
+    /// Replaces the quality model (for ablations).
+    pub fn with_quality_model(mut self, model: QualityModel) -> Self {
+        self.quality_model = model;
+        self
+    }
+
+    /// Sets the worker-churn rate: the per-query probability that one
+    /// randomly chosen worker leaves the platform and a brand-new one (fresh
+    /// id, fresh traits, no history) signs up. Churn is what defeats
+    /// history-based quality schemes — "workers are new to the platform and
+    /// do not have sufficient labeling history" (paper §IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at [`Platform::new`]) if the rate is outside `[0, 1]`.
+    pub fn with_churn_rate(mut self, rate: f64) -> Self {
+        self.churn_rate = rate;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.pool_size > 0, "pool must be non-empty");
+        assert!(
+            self.workers_per_query > 0 && self.workers_per_query <= self.pool_size,
+            "workers per query must be in 1..=pool_size"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.churn_rate),
+            "churn rate must be in [0, 1]"
+        );
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One worker's response to a query: a damage label, the questionnaire, and
+/// the time it took.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerResponse {
+    /// The responding worker.
+    pub worker: WorkerId,
+    /// The damage label the worker assigned.
+    pub label: DamageLabel,
+    /// The worker's fixed-form evidence answers.
+    pub questionnaire: QuestionnaireAnswers,
+    /// Seconds between posting the HIT and this response.
+    pub delay_secs: f64,
+}
+
+/// The platform's answer to one query (paper Definition 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// The queried image.
+    pub image_id: ImageId,
+    /// The incentive that was paid.
+    pub incentive: IncentiveLevel,
+    /// All worker responses.
+    pub responses: Vec<WorkerResponse>,
+    /// Seconds until the *last* worker answered — the query is only usable
+    /// once every response is in, so this is the query's delay `d_x^t`.
+    pub completion_delay_secs: f64,
+}
+
+impl QueryResponse {
+    /// The workers' labels, in response order.
+    pub fn labels(&self) -> Vec<DamageLabel> {
+        self.responses.iter().map(|r| r.label).collect()
+    }
+
+    /// Mean per-worker response delay.
+    pub fn mean_worker_delay_secs(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.responses.iter().map(|r| r.delay_secs).sum::<f64>() / self.responses.len() as f64
+    }
+}
+
+/// Per-context / per-incentive accounting of a platform's query traffic —
+/// the receipt the requester can audit its spending with.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// `queries[context][incentive]` counts.
+    queries: [[u64; IncentiveLevel::COUNT]; TemporalContext::COUNT],
+}
+
+impl Default for PlatformStats {
+    fn default() -> Self {
+        Self {
+            queries: [[0; IncentiveLevel::COUNT]; TemporalContext::COUNT],
+        }
+    }
+}
+
+impl PlatformStats {
+    fn record(&mut self, context: TemporalContext, incentive: IncentiveLevel) {
+        self.queries[context.index()][incentive.index()] += 1;
+    }
+
+    /// Queries submitted at a specific (context, incentive) cell.
+    pub fn queries_at(&self, context: TemporalContext, incentive: IncentiveLevel) -> u64 {
+        self.queries[context.index()][incentive.index()]
+    }
+
+    /// Total queries submitted in a context.
+    pub fn queries_in(&self, context: TemporalContext) -> u64 {
+        self.queries[context.index()].iter().sum()
+    }
+
+    /// Cents spent in a context.
+    pub fn spent_in_cents(&self, context: TemporalContext) -> u64 {
+        IncentiveLevel::ALL
+            .iter()
+            .map(|&l| self.queries_at(context, l) * u64::from(l.cents()))
+            .sum()
+    }
+
+    /// Mean incentive (in cents) paid in a context; `None` before any query.
+    pub fn mean_incentive_cents(&self, context: TemporalContext) -> Option<f64> {
+        let n = self.queries_in(context);
+        (n > 0).then(|| self.spent_in_cents(context) as f64 / n as f64)
+    }
+}
+
+/// The simulated black-box crowdsourcing platform.
+///
+/// The requester-visible API is intentionally narrow — submit a query with
+/// an incentive, receive responses, watch the money drain — mirroring the
+/// paper's observation that "the requester can only submit tasks and define
+/// the incentives for each task".
+#[derive(Debug, Clone)]
+pub struct Platform {
+    pool: WorkerPool,
+    config: PlatformConfig,
+    rng: StdRng,
+    spent_cents: u64,
+    queries_served: u64,
+    next_worker_id: u32,
+    stats: PlatformStats,
+}
+
+impl Platform {
+    /// Boots a platform with a freshly generated worker population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (empty pool, more workers
+    /// per query than the pool holds).
+    pub fn new(config: PlatformConfig) -> Self {
+        config.validate();
+        let pool = WorkerPool::generate(config.pool_size, config.seed ^ 0x9e37_79b9);
+        Self {
+            next_worker_id: pool.len() as u32,
+            pool,
+            rng: StdRng::seed_from_u64(config.seed),
+            spent_cents: 0,
+            queries_served: 0,
+            stats: PlatformStats::default(),
+            config,
+        }
+    }
+
+    /// Boots a platform over an explicit worker pool (failure injection).
+    pub fn with_pool(config: PlatformConfig, pool: WorkerPool) -> Self {
+        assert!(
+            config.workers_per_query <= pool.len(),
+            "workers per query must not exceed the pool"
+        );
+        Self {
+            next_worker_id: pool.len() as u32,
+            pool,
+            rng: StdRng::seed_from_u64(config.seed),
+            spent_cents: 0,
+            queries_served: 0,
+            stats: PlatformStats::default(),
+            config,
+        }
+    }
+
+    /// Total cents charged so far.
+    pub fn spent_cents(&self) -> u64 {
+        self.spent_cents
+    }
+
+    /// Number of queries served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    /// The worker population (visible to the simulator owner, *not* part of
+    /// the requester-facing black-box surface).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Accounting breakdown of everything submitted so far.
+    pub fn stats(&self) -> &PlatformStats {
+        &self.stats
+    }
+
+    /// Submits one image query at `incentive` under `context`; returns all
+    /// worker responses. Charges `incentive.cents()` to the ledger.
+    pub fn submit(
+        &mut self,
+        image: &SyntheticImage,
+        incentive: IncentiveLevel,
+        context: TemporalContext,
+    ) -> QueryResponse {
+        self.spent_cents += u64::from(incentive.cents());
+        self.queries_served += 1;
+        self.stats.record(context, incentive);
+
+        // Worker churn: occasionally one freelancer leaves and a new one
+        // (fresh id, no history anywhere) takes their slot.
+        if self.config.churn_rate > 0.0 && self.rng.gen::<f64>() < self.config.churn_rate {
+            let slot = self.rng.gen_range(0..self.pool.len());
+            let id = WorkerId(self.next_worker_id);
+            self.next_worker_id += 1;
+            let replacement = crate::Worker::generate(id, &mut self.rng);
+            self.pool.replace(slot, replacement);
+        }
+
+        let workers = self
+            .pool
+            .sample(self.config.workers_per_query, context, &mut self.rng);
+        // Collect worker traits first so we can reborrow the RNG mutably.
+        let traits: Vec<(WorkerId, f64, f64)> = workers
+            .iter()
+            .map(|w| (w.id(), w.reliability(), w.speed_factor()))
+            .collect();
+
+        let mut responses = Vec::with_capacity(traits.len());
+        let mut completion = 0.0f64;
+        for (id, reliability, speed) in traits {
+            let delay = self.config.delay_model.sample_secs(
+                context,
+                incentive,
+                speed,
+                &mut self.rng,
+            );
+            completion = completion.max(delay);
+
+            let p_correct =
+                self.config
+                    .quality_model
+                    .correct_probability(reliability, incentive, context);
+            let label = self.sample_label(image, p_correct);
+            let questionnaire = self.sample_questionnaire(image, p_correct);
+            responses.push(WorkerResponse {
+                worker: id,
+                label,
+                questionnaire,
+                delay_secs: delay,
+            });
+        }
+
+        QueryResponse {
+            image_id: image.id(),
+            incentive,
+            responses,
+            completion_delay_secs: completion,
+        }
+    }
+
+    /// Per-image human difficulty and the *correlated* wrong label workers
+    /// gravitate to when they err.
+    ///
+    /// Severity grading is genuinely ambiguous for a fraction of ordinary
+    /// images (the moderate/severe and none/moderate boundaries), and
+    /// deceptive or degraded images mislead humans in a *consistent*
+    /// direction (the visual artifact). This correlation is what pulls
+    /// majority voting down to the paper's Table I level (~0.84) even though
+    /// individual workers average ~0.8 — independent errors would let five
+    /// votes wash them out.
+    fn image_difficulty(image: &SyntheticImage) -> (f64, DamageLabel) {
+        match image.attribute() {
+            ImageAttribute::Plain => {
+                if image.is_ambiguous() {
+                    // Ambiguous severity: confusion flows to the adjacent
+                    // class (fixed per image).
+                    let confusion = match image.truth() {
+                        DamageLabel::NoDamage => DamageLabel::Moderate,
+                        DamageLabel::Moderate => {
+                            if hash01(image.id().0 as u64 ^ 0xabcd) < 0.5 {
+                                DamageLabel::Severe
+                            } else {
+                                DamageLabel::NoDamage
+                            }
+                        }
+                        DamageLabel::Severe => DamageLabel::Moderate,
+                    };
+                    (0.45, confusion)
+                } else {
+                    (0.02, DamageLabel::Moderate)
+                }
+            }
+            // Deceptive images mislead toward what they *show*.
+            ImageAttribute::Fake | ImageAttribute::CloseUp => (0.20, image.visual_label()),
+            ImageAttribute::Implicit => (0.20, DamageLabel::NoDamage),
+            // Low resolution hides the damage.
+            ImageAttribute::LowResolution => (0.25, DamageLabel::NoDamage),
+        }
+    }
+
+    /// A correct worker reads the contextual evidence and reports the truth;
+    /// an incorrect one reports the image's correlated confusion label with
+    /// probability 0.85 (workers err the same way on the same artifact) or a
+    /// uniformly random other class.
+    fn sample_label(&mut self, image: &SyntheticImage, p_correct: f64) -> DamageLabel {
+        let (difficulty, confusion) = Self::image_difficulty(image);
+        if self.rng.gen::<f64>() < p_correct * (1.0 - difficulty) {
+            return image.truth();
+        }
+        if confusion != image.truth() && self.rng.gen::<f64>() < 0.85 {
+            return confusion;
+        }
+        // A uniformly random label different from the truth.
+        let offset = self.rng.gen_range(1..DamageLabel::COUNT);
+        DamageLabel::from_index((image.truth().index() + offset) % DamageLabel::COUNT)
+    }
+
+    /// Each questionnaire answer independently matches the ground truth with
+    /// probability `min(p_correct + 0.05, 0.99)` — evidence questions are a
+    /// little easier than severity grading.
+    fn sample_questionnaire(
+        &mut self,
+        image: &SyntheticImage,
+        p_correct: f64,
+    ) -> QuestionnaireAnswers {
+        let mut answers = QuestionnaireAnswers::ground_truth(image);
+        let p_answer = (p_correct + 0.05).min(0.99);
+        for q in 0..QuestionnaireAnswers::COUNT {
+            if self.rng.gen::<f64>() >= p_answer {
+                answers.flip(q);
+            }
+        }
+        answers
+    }
+}
+
+/// Deterministic hash of a key to `[0, 1)` (SplitMix64 finalizer).
+fn hash01(key: u64) -> f64 {
+    let mut x = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Worker;
+    use crowdlearn_dataset::{Dataset, DatasetConfig, ImageAttribute};
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::paper())
+    }
+
+    fn platform(seed: u64) -> Platform {
+        Platform::new(PlatformConfig::paper().with_seed(seed))
+    }
+
+    #[test]
+    fn submit_returns_five_responses_and_charges() {
+        let ds = dataset();
+        let mut p = platform(1);
+        let r = p.submit(&ds.test()[0], IncentiveLevel::C6, TemporalContext::Morning);
+        assert_eq!(r.responses.len(), 5);
+        assert_eq!(p.spent_cents(), 6);
+        assert_eq!(p.queries_served(), 1);
+        assert!(r.completion_delay_secs >= r.mean_worker_delay_secs());
+    }
+
+    #[test]
+    fn crowd_accuracy_is_around_80_percent() {
+        let ds = dataset();
+        let mut p = platform(2);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for img in ds.train().iter().take(100) {
+            let r = p.submit(img, IncentiveLevel::C6, TemporalContext::Afternoon);
+            for resp in &r.responses {
+                total += 1;
+                if resp.label == img.truth() {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        // Attentive workers land near 0.8; the ~8% spammer subpopulation and
+        // per-image ambiguity pull the blended mean to the mid-0.7s.
+        assert!((acc - 0.78).abs() < 0.06, "crowd accuracy {acc}");
+    }
+
+    #[test]
+    fn crowd_sees_through_fake_images_usually() {
+        let ds = dataset();
+        let mut p = platform(3);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for img in ds
+            .images()
+            .iter()
+            .filter(|i| i.attribute() == ImageAttribute::Fake)
+        {
+            let r = p.submit(img, IncentiveLevel::C6, TemporalContext::Evening);
+            for resp in &r.responses {
+                total += 1;
+                if resp.label == img.truth() {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(
+            acc > 0.65,
+            "humans must usually out-judge fakes, accuracy {acc}"
+        );
+    }
+
+    #[test]
+    fn higher_incentive_is_faster_in_the_morning() {
+        let ds = dataset();
+        let mut p = platform(4);
+        let mean_delay = |p: &mut Platform, level| {
+            let mut sum = 0.0;
+            for img in ds.train().iter().take(40) {
+                sum += p
+                    .submit(img, level, TemporalContext::Morning)
+                    .mean_worker_delay_secs();
+            }
+            sum / 40.0
+        };
+        let cheap = mean_delay(&mut p, IncentiveLevel::C1);
+        let rich = mean_delay(&mut p, IncentiveLevel::C20);
+        assert!(
+            rich < cheap / 2.0,
+            "morning 20c ({rich}) must be much faster than 1c ({cheap})"
+        );
+    }
+
+    #[test]
+    fn evening_mid_incentives_are_similar() {
+        let ds = dataset();
+        let mut p = platform(5);
+        let mean_delay = |p: &mut Platform, level| {
+            let mut sum = 0.0;
+            for img in ds.train().iter().take(60) {
+                sum += p
+                    .submit(img, level, TemporalContext::Evening)
+                    .mean_worker_delay_secs();
+            }
+            sum / 60.0
+        };
+        let c2 = mean_delay(&mut p, IncentiveLevel::C2);
+        let c10 = mean_delay(&mut p, IncentiveLevel::C10);
+        assert!(
+            (c2 - c10).abs() / c10 < 0.15,
+            "evening 2c ({c2}) and 10c ({c10}) must be close"
+        );
+    }
+
+    #[test]
+    fn questionnaires_mostly_match_ground_truth() {
+        let ds = dataset();
+        let mut p = platform(6);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for img in ds.train().iter().take(80) {
+            let truth = QuestionnaireAnswers::ground_truth(img).as_features();
+            let r = p.submit(img, IncentiveLevel::C6, TemporalContext::Midnight);
+            for resp in &r.responses {
+                for (a, b) in resp.questionnaire.as_features().iter().zip(&truth) {
+                    total += 1;
+                    if a == b {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.8, "questionnaire agreement {rate}");
+    }
+
+    #[test]
+    fn adversarial_pool_breaks_label_quality() {
+        let ds = dataset();
+        let adversaries: Vec<Worker> = (0..10)
+            .map(|i| Worker::from_traits(WorkerId(i), 0.05, 1.0, [1.0; 4]))
+            .collect();
+        let mut p = Platform::with_pool(
+            PlatformConfig::paper().with_pool_size(10).with_seed(8),
+            WorkerPool::from_workers(adversaries),
+        );
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for img in ds.train().iter().take(50) {
+            let r = p.submit(img, IncentiveLevel::C10, TemporalContext::Morning);
+            for resp in &r.responses {
+                total += 1;
+                correct += usize::from(resp.label == img.truth());
+            }
+        }
+        assert!(
+            (correct as f64 / total as f64) < 0.3,
+            "adversaries must poison labels"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let mut a = platform(9);
+        let mut b = platform(9);
+        let ra = a.submit(&ds.test()[3], IncentiveLevel::C8, TemporalContext::Evening);
+        let rb = b.submit(&ds.test()[3], IncentiveLevel::C8, TemporalContext::Evening);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn stats_reconcile_with_the_ledger() {
+        let ds = dataset();
+        let mut p = platform(14);
+        for (i, img) in ds.train().iter().take(30).enumerate() {
+            let level = IncentiveLevel::from_index(i % IncentiveLevel::COUNT);
+            let ctx = TemporalContext::from_index(i % TemporalContext::COUNT);
+            let _ = p.submit(img, level, ctx);
+        }
+        let stats = p.stats();
+        let total_queries: u64 = TemporalContext::ALL
+            .iter()
+            .map(|&c| stats.queries_in(c))
+            .sum();
+        let total_spend: u64 = TemporalContext::ALL
+            .iter()
+            .map(|&c| stats.spent_in_cents(c))
+            .sum();
+        assert_eq!(total_queries, p.queries_served());
+        assert_eq!(total_spend, p.spent_cents());
+        assert!(stats
+            .mean_incentive_cents(TemporalContext::Morning)
+            .is_some());
+    }
+
+    #[test]
+    fn churn_rotates_the_population() {
+        let ds = dataset();
+        let mut p = Platform::new(PlatformConfig::paper().with_seed(11).with_churn_rate(0.5));
+        let before: Vec<WorkerId> = p.pool().workers().iter().map(|w| w.id()).collect();
+        for img in ds.train().iter().take(100) {
+            let _ = p.submit(img, IncentiveLevel::C4, TemporalContext::Evening);
+        }
+        let after: Vec<WorkerId> = p.pool().workers().iter().map(|w| w.id()).collect();
+        let replaced = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert!(replaced > 20, "only {replaced} workers churned");
+        // Fresh ids continue past the initial range.
+        assert!(after.iter().any(|id| id.0 >= before.len() as u32));
+    }
+
+    #[test]
+    fn zero_churn_keeps_the_population_stable() {
+        let ds = dataset();
+        let mut p = Platform::new(PlatformConfig::paper().with_seed(12));
+        let before: Vec<WorkerId> = p.pool().workers().iter().map(|w| w.id()).collect();
+        for img in ds.train().iter().take(50) {
+            let _ = p.submit(img, IncentiveLevel::C4, TemporalContext::Morning);
+        }
+        let after: Vec<WorkerId> = p.pool().workers().iter().map(|w| w.id()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn rate must be in [0, 1]")]
+    fn bad_churn_rate_rejected() {
+        Platform::new(PlatformConfig::paper().with_churn_rate(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "workers per query")]
+    fn rejects_oversized_query_fanout() {
+        Platform::new(PlatformConfig::paper().with_pool_size(3).with_workers_per_query(5));
+    }
+}

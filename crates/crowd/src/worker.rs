@@ -1,0 +1,285 @@
+//! The freelance worker population.
+
+use crowdlearn_dataset::{gaussian, TemporalContext};
+use crowdlearn_truth::WorkerId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One simulated crowd worker.
+///
+/// Reliability is drawn around 0.8 (matching the paper's pilot observation
+/// that "the average labeling accuracy of the crowd workers is … around
+/// 80%"); speed and per-context activity vary per worker, which is what the
+/// context-aware incentive policy exploits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    id: WorkerId,
+    reliability: f64,
+    speed_factor: f64,
+    activity: [f64; TemporalContext::COUNT],
+}
+
+impl Worker {
+    /// Builds a worker from explicit traits (exposed for failure-injection
+    /// tests: adversarial or hyper-reliable workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reliability` is outside `[0, 1]`, `speed_factor` is not
+    /// positive, or any activity weight is negative.
+    pub fn from_traits(
+        id: WorkerId,
+        reliability: f64,
+        speed_factor: f64,
+        activity: [f64; TemporalContext::COUNT],
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&reliability),
+            "reliability must be in [0, 1]"
+        );
+        assert!(speed_factor > 0.0, "speed factor must be positive");
+        assert!(
+            activity.iter().all(|a| *a >= 0.0),
+            "activity weights must be non-negative"
+        );
+        Self {
+            id,
+            reliability,
+            speed_factor,
+            activity,
+        }
+    }
+
+    /// The worker's platform id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Probability of producing a correct label, before incentive/context
+    /// adjustments.
+    pub fn reliability(&self) -> f64 {
+        self.reliability
+    }
+
+    /// Multiplicative response-speed factor (1.0 = average; smaller is
+    /// faster).
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+
+    /// Relative propensity to pick up HITs in a temporal context.
+    pub fn activity(&self, context: TemporalContext) -> f64 {
+        self.activity[context.index()]
+    }
+
+    /// Draws a worker from the platform's population distribution: ~92%
+    /// attentive (reliability ≈ 0.95), ~8% spammers (≈ 0.30), day-worker or
+    /// night-owl activity profiles.
+    pub fn generate<R: Rng + ?Sized>(id: WorkerId, rng: &mut R) -> Self {
+        let reliability = if rng.gen::<f64>() < 0.08 {
+            (0.30 + 0.06 * gaussian(rng)).clamp(0.10, 0.45)
+        } else {
+            (0.95 + 0.04 * gaussian(rng)).clamp(0.60, 0.99)
+        };
+        let speed_factor = (1.0 + 0.25 * gaussian(rng)).clamp(0.5, 2.0);
+        let night_owl = rng.gen::<f64>() < 0.6;
+        let activity = if night_owl {
+            [0.4, 0.6, 1.0, 0.9]
+        } else {
+            [0.9, 1.0, 0.7, 0.3]
+        };
+        // Per-worker dither so activity is not perfectly bimodal.
+        let activity = activity.map(|a: f64| (a + 0.1 * gaussian(rng)).max(0.05));
+        Worker::from_traits(id, reliability, speed_factor, activity)
+    }
+}
+
+/// The platform's worker population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Generates a population of `size` workers, deterministic in `seed`.
+    ///
+    /// Roughly 40% of workers are "day workers" (more active in the morning
+    /// and afternoon) and 60% are "night owls" (evening/midnight), matching
+    /// the paper's observation that "MTurk workers are often more active at
+    /// night". About 8% of the population are spammers/random clickers
+    /// (reliability ~0.3) — the MTurk reality that reliability-aware
+    /// aggregation (TD-EM, worker filtering) exists to defend against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn generate(size: usize, seed: u64) -> Self {
+        assert!(size > 0, "worker pool must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workers = (0..size)
+            .map(|i| Worker::generate(WorkerId(i as u32), &mut rng))
+            .collect();
+        Self { workers }
+    }
+
+    /// Replaces the worker at `index` (worker churn: one freelancer leaves,
+    /// another signs up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn replace(&mut self, index: usize, worker: Worker) {
+        self.workers[index] = worker;
+    }
+
+    /// Builds a pool from explicit workers (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is empty.
+    pub fn from_workers(workers: Vec<Worker>) -> Self {
+        assert!(!workers.is_empty(), "worker pool must be non-empty");
+        Self { workers }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// All workers.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Samples `count` distinct workers, weighted by their activity in
+    /// `context` (sampling without replacement via repeated weighted draws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > self.len()`.
+    pub fn sample(
+        &self,
+        count: usize,
+        context: TemporalContext,
+        rng: &mut StdRng,
+    ) -> Vec<&Worker> {
+        assert!(count <= self.workers.len(), "not enough workers to sample");
+        let mut available: Vec<usize> = (0..self.workers.len()).collect();
+        let mut picked = Vec::with_capacity(count);
+        for _ in 0..count {
+            let total: f64 = available
+                .iter()
+                .map(|&i| self.workers[i].activity(context))
+                .sum();
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen_pos = available.len() - 1;
+            for (pos, &i) in available.iter().enumerate() {
+                target -= self.workers[i].activity(context);
+                if target <= 0.0 {
+                    chosen_pos = pos;
+                    break;
+                }
+            }
+            let idx = available.swap_remove(chosen_pos);
+            picked.push(&self.workers[idx]);
+        }
+        picked
+    }
+
+    /// Mean reliability across the pool.
+    pub fn mean_reliability(&self) -> f64 {
+        self.workers.iter().map(|w| w.reliability()).sum::<f64>() / self.workers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(WorkerPool::generate(50, 3), WorkerPool::generate(50, 3));
+        assert_ne!(WorkerPool::generate(50, 3), WorkerPool::generate(50, 4));
+    }
+
+    #[test]
+    fn mean_reliability_matches_the_calibration_target() {
+        // ~92% attentive workers near 0.95 plus ~8% spammers near 0.30;
+        // multiplied by the mean per-image difficulty this yields the
+        // paper's ~0.8 observed label accuracy.
+        let pool = WorkerPool::generate(500, 1);
+        let mean = pool.mean_reliability();
+        assert!((mean - 0.90).abs() < 0.03, "mean reliability {mean}");
+        let spammers = pool.workers().iter().filter(|w| w.reliability() < 0.5).count();
+        let rate = spammers as f64 / pool.len() as f64;
+        assert!((rate - 0.08).abs() < 0.04, "spammer rate {rate}");
+    }
+
+    #[test]
+    fn sampling_returns_distinct_workers() {
+        let pool = WorkerPool::generate(30, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let picked = pool.sample(10, TemporalContext::Morning, &mut rng);
+        let mut ids: Vec<_> = picked.iter().map(|w| w.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn sampling_prefers_active_workers() {
+        // Two workers: one active only at night, one only in the morning.
+        let day = Worker::from_traits(WorkerId(0), 0.8, 1.0, [1.0, 1.0, 0.0001, 0.0001]);
+        let night = Worker::from_traits(WorkerId(1), 0.8, 1.0, [0.0001, 0.0001, 1.0, 1.0]);
+        let pool = WorkerPool::from_workers(vec![day, night]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut night_first = 0;
+        for _ in 0..200 {
+            let picked = pool.sample(1, TemporalContext::Midnight, &mut rng);
+            if picked[0].id() == WorkerId(1) {
+                night_first += 1;
+            }
+        }
+        assert!(night_first > 190, "night worker picked {night_first}/200");
+    }
+
+    #[test]
+    fn night_owls_dominate_the_generated_pool_at_night() {
+        let pool = WorkerPool::generate(400, 7);
+        let evening: f64 = pool
+            .workers()
+            .iter()
+            .map(|w| w.activity(TemporalContext::Evening))
+            .sum();
+        let morning: f64 = pool
+            .workers()
+            .iter()
+            .map(|w| w.activity(TemporalContext::Morning))
+            .sum();
+        assert!(
+            evening > morning,
+            "evening activity {evening} must exceed morning {morning}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough workers")]
+    fn oversampling_panics() {
+        let pool = WorkerPool::generate(3, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        pool.sample(4, TemporalContext::Morning, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "reliability must be in [0, 1]")]
+    fn bad_reliability_rejected() {
+        Worker::from_traits(WorkerId(0), 1.5, 1.0, [1.0; 4]);
+    }
+}

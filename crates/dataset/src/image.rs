@@ -1,0 +1,291 @@
+//! Synthetic images with latent visual and contextual evidence.
+
+use crate::DamageLabel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier of a synthetic image within its [`Dataset`].
+///
+/// [`Dataset`]: crate::Dataset
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ImageId(pub u32);
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "img-{:04}", self.0)
+    }
+}
+
+/// Failure-mode attribute of an image, mirroring the four AI failure examples
+/// of the paper's Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImageAttribute {
+    /// An ordinary image: visual evidence agrees with the ground truth.
+    Plain,
+    /// A photoshopped/fake disaster image (Fig. 1a): visually screams severe
+    /// damage, ground truth is no damage.
+    Fake,
+    /// A close-up of a minor feature, e.g. a crack filling the frame
+    /// (Fig. 1b): visually severe, actually no damage.
+    CloseUp,
+    /// A low-resolution disaster scene (Fig. 1c): real damage, but the visual
+    /// evidence is too weak for feature-based models.
+    LowResolution,
+    /// Damage implied by context, e.g. injured people evacuated (Fig. 1d):
+    /// the damage is real but not visually present.
+    Implicit,
+}
+
+impl ImageAttribute {
+    /// All attributes in declaration order.
+    pub const ALL: [ImageAttribute; 5] = [
+        ImageAttribute::Plain,
+        ImageAttribute::Fake,
+        ImageAttribute::CloseUp,
+        ImageAttribute::LowResolution,
+        ImageAttribute::Implicit,
+    ];
+
+    /// Whether the attribute makes the visual evidence actively point at a
+    /// wrong class (as opposed to merely weakening it).
+    ///
+    /// Fake and close-up images are *deceptive*: every feature-based model
+    /// confidently reports "severe damage" for them, which is the failure the
+    /// paper's epsilon-greedy exploration exists to catch. Implicit images
+    /// are deceptive in the opposite direction (visually "no damage").
+    pub fn is_deceptive(self) -> bool {
+        matches!(
+            self,
+            ImageAttribute::Fake | ImageAttribute::CloseUp | ImageAttribute::Implicit
+        )
+    }
+
+    /// Whether the attribute weakens the visual signal without flipping it.
+    pub fn is_degraded(self) -> bool {
+        matches!(self, ImageAttribute::LowResolution)
+    }
+}
+
+impl fmt::Display for ImageAttribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ImageAttribute::Plain => "plain",
+            ImageAttribute::Fake => "fake",
+            ImageAttribute::CloseUp => "close-up",
+            ImageAttribute::LowResolution => "low-resolution",
+            ImageAttribute::Implicit => "implicit",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One synthetic social-media image.
+///
+/// The struct keeps the generative latents private and exposes them through
+/// getters so downstream crates cannot accidentally mutate evidence vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticImage {
+    id: ImageId,
+    truth: DamageLabel,
+    attribute: ImageAttribute,
+    visual_label: DamageLabel,
+    ambiguous: bool,
+    visual_evidence: Vec<f64>,
+    contextual_evidence: Vec<f64>,
+}
+
+impl SyntheticImage {
+    /// Assembles an image from its generative latents. Intended for the
+    /// dataset generator and for targeted failure-injection tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `visual_evidence` is empty or if
+    /// `contextual_evidence.len() != DamageLabel::COUNT + ImageAttribute::ALL.len()`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_latents(
+        id: ImageId,
+        truth: DamageLabel,
+        attribute: ImageAttribute,
+        visual_label: DamageLabel,
+        ambiguous: bool,
+        visual_evidence: Vec<f64>,
+        contextual_evidence: Vec<f64>,
+    ) -> Self {
+        assert!(
+            !visual_evidence.is_empty(),
+            "visual evidence must be non-empty"
+        );
+        assert_eq!(
+            contextual_evidence.len(),
+            Self::CONTEXTUAL_DIM,
+            "contextual evidence must have fixed dimension"
+        );
+        Self {
+            id,
+            truth,
+            attribute,
+            visual_label,
+            ambiguous,
+            visual_evidence,
+            contextual_evidence,
+        }
+    }
+
+    /// Dimension of the contextual-evidence vector: a per-class context
+    /// score followed by per-attribute cues.
+    pub const CONTEXTUAL_DIM: usize = DamageLabel::COUNT + ImageAttribute::ALL.len();
+
+    /// The image identifier.
+    pub fn id(&self) -> ImageId {
+        self.id
+    }
+
+    /// Ground-truth damage label (the "golden label" of the paper's dataset).
+    pub fn truth(&self) -> DamageLabel {
+        self.truth
+    }
+
+    /// Failure-mode attribute.
+    pub fn attribute(&self) -> ImageAttribute {
+        self.attribute
+    }
+
+    /// The class that pure low-level visual features suggest. Equal to
+    /// [`SyntheticImage::truth`] for plain images; different for deceptive
+    /// ones.
+    pub fn visual_label(&self) -> DamageLabel {
+        self.visual_label
+    }
+
+    /// The low-level feature vector visible to AI classifiers.
+    pub fn visual_evidence(&self) -> &[f64] {
+        &self.visual_evidence
+    }
+
+    /// The high-level contextual cues visible to human annotators.
+    ///
+    /// Layout: `[class context scores (3)] ++ [attribute cues (5)]`.
+    pub fn contextual_evidence(&self) -> &[f64] {
+        &self.contextual_evidence
+    }
+
+    /// Whether the image sits on a genuinely ambiguous severity boundary.
+    ///
+    /// Ambiguous images are hard for *both* kinds of intelligence: their
+    /// visual evidence is attenuated (AI classifiers become uncertain) and
+    /// human annotators confuse adjacent severity levels in a correlated
+    /// way. This coupling — an image that is hard is hard for everyone — is
+    /// what real disaster imagery exhibits and what the Hybrid-Para
+    /// baseline's complexity index trips over.
+    pub fn is_ambiguous(&self) -> bool {
+        self.ambiguous
+    }
+
+    /// Whether AI feature models are structurally misled on this image.
+    pub fn misleads_ai(&self) -> bool {
+        self.visual_label != self.truth
+    }
+}
+
+/// An image paired with a (possibly crowd-derived) label, used for classifier
+/// retraining.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledImage {
+    /// The image being labeled.
+    pub image: SyntheticImage,
+    /// The label assigned to it (not necessarily the ground truth — CQC
+    /// output is what MIC actually feeds back).
+    pub label: DamageLabel,
+}
+
+impl LabeledImage {
+    /// Pairs an image with a label.
+    pub fn new(image: SyntheticImage, label: DamageLabel) -> Self {
+        Self { image, label }
+    }
+
+    /// Pairs an image with its own ground truth (used to bootstrap training).
+    pub fn ground_truth(image: SyntheticImage) -> Self {
+        let label = image.truth();
+        Self { image, label }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image(attribute: ImageAttribute, truth: DamageLabel, visual: DamageLabel) -> SyntheticImage {
+        SyntheticImage::from_latents(
+            ImageId(1),
+            truth,
+            attribute,
+            visual,
+            false,
+            vec![0.0; 12],
+            vec![0.0; SyntheticImage::CONTEXTUAL_DIM],
+        )
+    }
+
+    #[test]
+    fn deceptive_attributes_are_flagged() {
+        assert!(ImageAttribute::Fake.is_deceptive());
+        assert!(ImageAttribute::CloseUp.is_deceptive());
+        assert!(ImageAttribute::Implicit.is_deceptive());
+        assert!(!ImageAttribute::Plain.is_deceptive());
+        assert!(!ImageAttribute::LowResolution.is_deceptive());
+        assert!(ImageAttribute::LowResolution.is_degraded());
+    }
+
+    #[test]
+    fn misleads_ai_iff_visual_differs_from_truth() {
+        let fake = sample_image(ImageAttribute::Fake, DamageLabel::NoDamage, DamageLabel::Severe);
+        assert!(fake.misleads_ai());
+        let plain =
+            sample_image(ImageAttribute::Plain, DamageLabel::Moderate, DamageLabel::Moderate);
+        assert!(!plain.misleads_ai());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_visual_evidence() {
+        SyntheticImage::from_latents(
+            ImageId(0),
+            DamageLabel::NoDamage,
+            ImageAttribute::Plain,
+            DamageLabel::NoDamage,
+            false,
+            vec![],
+            vec![0.0; SyntheticImage::CONTEXTUAL_DIM],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed dimension")]
+    fn rejects_wrong_contextual_dimension() {
+        SyntheticImage::from_latents(
+            ImageId(0),
+            DamageLabel::NoDamage,
+            ImageAttribute::Plain,
+            DamageLabel::NoDamage,
+            false,
+            vec![0.0; 4],
+            vec![0.0; 2],
+        );
+    }
+
+    #[test]
+    fn labeled_image_ground_truth_uses_truth() {
+        let img = sample_image(ImageAttribute::Plain, DamageLabel::Severe, DamageLabel::Severe);
+        let labeled = LabeledImage::ground_truth(img);
+        assert_eq!(labeled.label, DamageLabel::Severe);
+    }
+
+    #[test]
+    fn image_id_display_is_stable() {
+        assert_eq!(ImageId(7).to_string(), "img-0007");
+    }
+}

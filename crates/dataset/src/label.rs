@@ -1,0 +1,103 @@
+//! The three damage-severity classes of the DDA application (paper Fig. 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Damage severity reported for an image: the output alphabet of every DDA
+/// scheme in the paper ("severe", "moderate" and "no damage").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DamageLabel {
+    /// No visible disaster damage.
+    NoDamage,
+    /// Moderate damage (partial structural damage, debris).
+    Moderate,
+    /// Severe damage (collapsed structures, destroyed infrastructure).
+    Severe,
+}
+
+impl DamageLabel {
+    /// Number of damage classes.
+    pub const COUNT: usize = 3;
+
+    /// All labels in index order.
+    pub const ALL: [DamageLabel; Self::COUNT] =
+        [DamageLabel::NoDamage, DamageLabel::Moderate, DamageLabel::Severe];
+
+    /// Stable class index in `0..COUNT`, used by confusion matrices and
+    /// probability vectors.
+    pub fn index(self) -> usize {
+        match self {
+            DamageLabel::NoDamage => 0,
+            DamageLabel::Moderate => 1,
+            DamageLabel::Severe => 2,
+        }
+    }
+
+    /// Inverse of [`DamageLabel::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= DamageLabel::COUNT`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL
+            .get(index)
+            .copied()
+            .unwrap_or_else(|| panic!("damage label index {index} out of range"))
+    }
+
+    /// Severity as an ordinal (0 = none, 2 = severe); convenient for
+    /// complexity-index style merging in the Hybrid-Para baseline.
+    pub fn severity(self) -> u8 {
+        self.index() as u8
+    }
+}
+
+impl fmt::Display for DamageLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DamageLabel::NoDamage => "no damage",
+            DamageLabel::Moderate => "moderate damage",
+            DamageLabel::Severe => "severe damage",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for label in DamageLabel::ALL {
+            assert_eq!(DamageLabel::from_index(label.index()), label);
+        }
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        let mut seen = [false; DamageLabel::COUNT];
+        for label in DamageLabel::ALL {
+            seen[label.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_out_of_range() {
+        DamageLabel::from_index(3);
+    }
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        assert_eq!(DamageLabel::Severe.to_string(), "severe damage");
+        assert_eq!(DamageLabel::NoDamage.to_string(), "no damage");
+    }
+
+    #[test]
+    fn severity_is_ordered() {
+        assert!(DamageLabel::NoDamage.severity() < DamageLabel::Moderate.severity());
+        assert!(DamageLabel::Moderate.severity() < DamageLabel::Severe.severity());
+    }
+}

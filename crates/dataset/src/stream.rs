@@ -1,0 +1,273 @@
+//! Sensing cycles and temporal contexts (paper Definitions 1 and 10).
+
+use crate::{Dataset, ImageId, SyntheticImage};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Temporal context of a sensing cycle. The paper's pilot study shows the
+/// crowd's incentive-delay behaviour differs across these four contexts,
+/// which is why the incentive bandit is *contextual*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TemporalContext {
+    /// Morning (workers least active, most incentive-sensitive).
+    Morning,
+    /// Afternoon (moderately active).
+    Afternoon,
+    /// Evening (workers most active; delay mostly flat in incentive).
+    Evening,
+    /// Midnight (active night-owl population; flat mid-range delays).
+    Midnight,
+}
+
+impl TemporalContext {
+    /// Number of temporal contexts.
+    pub const COUNT: usize = 4;
+
+    /// All contexts in chronological order.
+    pub const ALL: [TemporalContext; Self::COUNT] = [
+        TemporalContext::Morning,
+        TemporalContext::Afternoon,
+        TemporalContext::Evening,
+        TemporalContext::Midnight,
+    ];
+
+    /// Stable index in `0..COUNT`, used as the bandit context id.
+    pub fn index(self) -> usize {
+        match self {
+            TemporalContext::Morning => 0,
+            TemporalContext::Afternoon => 1,
+            TemporalContext::Evening => 2,
+            TemporalContext::Midnight => 3,
+        }
+    }
+
+    /// Inverse of [`TemporalContext::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= TemporalContext::COUNT`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL
+            .get(index)
+            .copied()
+            .unwrap_or_else(|| panic!("temporal context index {index} out of range"))
+    }
+}
+
+impl fmt::Display for TemporalContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TemporalContext::Morning => "morning",
+            TemporalContext::Afternoon => "afternoon",
+            TemporalContext::Evening => "evening",
+            TemporalContext::Midnight => "midnight",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One sensing cycle: a batch of newly "crawled" images plus the temporal
+/// context it runs in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensingCycle {
+    /// Zero-based cycle index `t`.
+    pub index: usize,
+    /// Temporal context of this cycle.
+    pub context: TemporalContext,
+    /// Ids of the unseen images arriving in this cycle.
+    pub image_ids: Vec<ImageId>,
+}
+
+impl SensingCycle {
+    /// Resolves the cycle's image ids against a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is unknown to `dataset` (cycles are only valid for
+    /// the dataset they were derived from).
+    pub fn images<'d>(&self, dataset: &'d Dataset) -> Vec<&'d SyntheticImage> {
+        self.image_ids
+            .iter()
+            .map(|&id| {
+                dataset
+                    .image(id)
+                    .unwrap_or_else(|| panic!("cycle references unknown image {id}"))
+            })
+            .collect()
+    }
+}
+
+/// Streams a dataset's test split as a sequence of sensing cycles.
+///
+/// The paper's setup is 40 cycles of 10 images with 10 cycles per temporal
+/// context; [`SensingCycleStream::paper`] reproduces that with a round-robin
+/// diurnal rotation (see [`SensingCycleStream::new`]).
+///
+/// # Example
+///
+/// ```
+/// use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+///
+/// let dataset = Dataset::generate(&DatasetConfig::paper());
+/// let stream = SensingCycleStream::paper(&dataset);
+/// assert_eq!(stream.cycles().len(), 40);
+/// assert!(stream.cycles().iter().all(|c| c.image_ids.len() == 10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensingCycleStream {
+    cycles: Vec<SensingCycle>,
+}
+
+impl SensingCycleStream {
+    /// The paper's streaming setup: the whole test split in order, 10 images
+    /// per cycle, 10 cycles per temporal context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test split has fewer than 40 × 10 images.
+    pub fn paper(dataset: &Dataset) -> Self {
+        Self::new(dataset, 40, 10)
+    }
+
+    /// A custom streaming setup over the test split: `cycles` cycles of
+    /// `images_per_cycle`, with contexts rotating round-robin through the
+    /// day (morning, afternoon, evening, midnight, morning, ...) — the
+    /// natural diurnal cadence of a continuously running DDA deployment,
+    /// yielding the paper's "10 cycles for each temporal context" for a
+    /// 40-cycle run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles * images_per_cycle` exceeds the test split, or if
+    /// either parameter is zero.
+    pub fn new(dataset: &Dataset, cycles: usize, images_per_cycle: usize) -> Self {
+        assert!(cycles > 0 && images_per_cycle > 0, "stream must be non-empty");
+        let test = dataset.test();
+        assert!(
+            cycles * images_per_cycle <= test.len(),
+            "test split has {} images, need {}",
+            test.len(),
+            cycles * images_per_cycle
+        );
+        let cycles = (0..cycles)
+            .map(|t| {
+                let context = TemporalContext::from_index(t % TemporalContext::COUNT);
+                let image_ids = test[t * images_per_cycle..(t + 1) * images_per_cycle]
+                    .iter()
+                    .map(|img| img.id())
+                    .collect();
+                SensingCycle {
+                    index: t,
+                    context,
+                    image_ids,
+                }
+            })
+            .collect();
+        Self { cycles }
+    }
+
+    /// All cycles, in order.
+    pub fn cycles(&self) -> &[SensingCycle] {
+        &self.cycles
+    }
+
+    /// Iterates over the cycles.
+    pub fn iter(&self) -> std::slice::Iter<'_, SensingCycle> {
+        self.cycles.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SensingCycleStream {
+    type Item = &'a SensingCycle;
+    type IntoIter = std::slice::Iter<'a, SensingCycle>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cycles.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&DatasetConfig::paper())
+    }
+
+    #[test]
+    fn context_index_round_trips() {
+        for ctx in TemporalContext::ALL {
+            assert_eq!(TemporalContext::from_index(ctx.index()), ctx);
+        }
+    }
+
+    #[test]
+    fn paper_stream_has_40_cycles_of_10() {
+        let ds = dataset();
+        let stream = SensingCycleStream::paper(&ds);
+        assert_eq!(stream.cycles().len(), 40);
+        for c in stream.cycles() {
+            assert_eq!(c.image_ids.len(), 10);
+        }
+    }
+
+    #[test]
+    fn paper_stream_has_10_cycles_per_context() {
+        let ds = dataset();
+        let stream = SensingCycleStream::paper(&ds);
+        for ctx in TemporalContext::ALL {
+            let n = stream.cycles().iter().filter(|c| c.context == ctx).count();
+            assert_eq!(n, 10, "context {ctx} has {n} cycles");
+        }
+    }
+
+    #[test]
+    fn cycles_cover_disjoint_test_images() {
+        let ds = dataset();
+        let stream = SensingCycleStream::paper(&ds);
+        let mut seen = std::collections::HashSet::new();
+        for c in stream.cycles() {
+            for id in &c.image_ids {
+                assert!(seen.insert(*id), "image {id} appears in two cycles");
+                // Must come from the test split.
+                assert!(id.0 as usize >= ds.train().len());
+            }
+        }
+        assert_eq!(seen.len(), 400);
+    }
+
+    #[test]
+    fn cycle_image_resolution_works() {
+        let ds = dataset();
+        let stream = SensingCycleStream::paper(&ds);
+        let imgs = stream.cycles()[0].images(&ds);
+        assert_eq!(imgs.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "test split has")]
+    fn oversized_stream_is_rejected() {
+        let ds = dataset();
+        SensingCycleStream::new(&ds, 100, 10);
+    }
+
+    #[test]
+    fn iterator_yields_all_cycles() {
+        let ds = dataset();
+        let stream = SensingCycleStream::new(&ds, 8, 5);
+        assert_eq!(stream.iter().count(), 8);
+        assert_eq!((&stream).into_iter().count(), 8);
+    }
+
+    #[test]
+    fn contexts_rotate_round_robin() {
+        let ds = dataset();
+        let stream = SensingCycleStream::new(&ds, 8, 5);
+        let contexts: Vec<_> = stream.cycles().iter().map(|c| c.context).collect();
+        assert_eq!(contexts[0], TemporalContext::Morning);
+        assert_eq!(contexts[1], TemporalContext::Afternoon);
+        assert_eq!(contexts[4], TemporalContext::Morning);
+        assert_eq!(contexts[7], TemporalContext::Midnight);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests on the dataset generator's invariants.
+
+use crowdlearn_dataset::{
+    visual_layout, DamageLabel, Dataset, DatasetConfig, ImageAttribute, SensingCycleStream,
+    SyntheticImage,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any valid configuration generates exactly the requested number of
+    /// images, with valid labels and evidence vectors of the fixed layout.
+    #[test]
+    fn generated_images_are_well_formed(
+        seed in 0u64..10_000,
+        total in 12usize..240,
+        fake in 0.0f64..0.15,
+        lowres in 0.0f64..0.15,
+    ) {
+        let train = total / 2;
+        let ds = Dataset::generate(
+            &DatasetConfig::paper()
+                .with_seed(seed)
+                .with_total(total)
+                .with_train_count(train)
+                .with_fake_rate(fake)
+                .with_low_resolution_rate(lowres),
+        );
+        prop_assert_eq!(ds.len(), total);
+        for img in ds.images() {
+            prop_assert_eq!(img.visual_evidence().len(), visual_layout::VISUAL_DIM);
+            prop_assert_eq!(
+                img.contextual_evidence().len(),
+                SyntheticImage::CONTEXTUAL_DIM
+            );
+            prop_assert!(img.visual_evidence().iter().all(|v| v.is_finite()));
+            prop_assert!(img
+                .contextual_evidence()
+                .iter()
+                .all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+
+    /// Attribute/truth compatibility is a hard invariant of the generator.
+    #[test]
+    fn attributes_are_compatible_with_truths(seed in 0u64..10_000) {
+        let ds = Dataset::generate(&DatasetConfig::paper().with_seed(seed).with_total(120).with_train_count(60));
+        for img in ds.images() {
+            match img.attribute() {
+                ImageAttribute::Fake | ImageAttribute::CloseUp => {
+                    prop_assert_eq!(img.truth(), DamageLabel::NoDamage);
+                    prop_assert_eq!(img.visual_label(), DamageLabel::Severe);
+                }
+                ImageAttribute::Implicit => {
+                    prop_assert_ne!(img.truth(), DamageLabel::NoDamage);
+                    prop_assert_eq!(img.visual_label(), DamageLabel::NoDamage);
+                }
+                ImageAttribute::LowResolution => {
+                    prop_assert_ne!(img.truth(), DamageLabel::NoDamage);
+                    prop_assert_eq!(img.visual_label(), img.truth());
+                }
+                ImageAttribute::Plain => {
+                    prop_assert_eq!(img.visual_label(), img.truth());
+                }
+            }
+            // Ambiguity is a plain-image phenomenon.
+            if img.is_ambiguous() {
+                prop_assert_eq!(img.attribute(), ImageAttribute::Plain);
+            }
+        }
+    }
+
+    /// Same seed, same dataset; and the generator is a pure function of the
+    /// configuration.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..10_000) {
+        let cfg = DatasetConfig::paper().with_seed(seed).with_total(60).with_train_count(30);
+        prop_assert_eq!(Dataset::generate(&cfg), Dataset::generate(&cfg));
+    }
+
+    /// Every stream partitions a prefix of the test split without overlap,
+    /// regardless of its shape.
+    #[test]
+    fn streams_never_reuse_images(
+        cycles in 1usize..12,
+        per_cycle in 1usize..8,
+    ) {
+        let ds = Dataset::generate(
+            &DatasetConfig::paper().with_total(240).with_train_count(120),
+        );
+        prop_assume!(cycles * per_cycle <= ds.test().len());
+        let stream = SensingCycleStream::new(&ds, cycles, per_cycle);
+        let mut seen = std::collections::HashSet::new();
+        for c in stream.cycles() {
+            prop_assert_eq!(c.image_ids.len(), per_cycle);
+            for id in &c.image_ids {
+                prop_assert!(seen.insert(*id));
+            }
+        }
+    }
+}

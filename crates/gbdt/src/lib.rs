@@ -1,0 +1,41 @@
+//! Multiclass gradient-boosted decision trees, built from scratch.
+//!
+//! The paper's Crowd Quality Control module trains "the state-of-art gradient
+//! boosting model (XGBoost)" on worker labels plus questionnaire answers to
+//! recover truthful labels. XGBoost itself is not available offline, so this
+//! crate implements the same algorithm family:
+//!
+//! * second-order boosting with the softmax (multi-class log-loss)
+//!   objective: per round one regression tree per class is fit to the
+//!   gradient/hessian pairs `g = p - y`, `h = p (1 - p)`,
+//! * exact greedy split finding with L2 leaf regularization (`lambda`),
+//!   minimum-gain pruning (`gamma`) and minimum child hessian weight,
+//! * shrinkage (`learning_rate`), row subsampling and per-tree column
+//!   subsampling,
+//! * gain-based feature importances.
+//!
+//! The datasets CQC sees are small (hundreds of rows, tens of features), so
+//! exact greedy splitting is the right engineering choice — no histograms
+//! needed.
+//!
+//! # Example
+//!
+//! ```
+//! use crowdlearn_gbdt::{GbdtClassifier, GbdtConfig};
+//!
+//! // A linearly separable toy problem.
+//! let rows = vec![vec![0.0], vec![0.2], vec![0.8], vec![1.0]];
+//! let labels = vec![0, 0, 1, 1];
+//! let model = GbdtClassifier::fit(&rows, &labels, 2, &GbdtConfig::small());
+//! assert_eq!(model.predict(&[0.1]), 0);
+//! assert_eq!(model.predict(&[0.9]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod tree;
+
+pub use model::{GbdtClassifier, GbdtConfig};
+pub use tree::{RegressionTree, SplitMode};

@@ -1,0 +1,564 @@
+//! The boosting loop: softmax objective over per-class regression trees.
+
+use crate::tree::{RegressionTree, SplitMode, TreeParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of [`GbdtClassifier::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Boosting rounds (each round grows one tree per class).
+    pub rounds: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage applied to every leaf.
+    pub learning_rate: f64,
+    /// L2 regularization on leaf weights.
+    pub lambda: f64,
+    /// Minimum split gain (complexity penalty).
+    pub gamma: f64,
+    /// Minimum hessian mass per child.
+    pub min_child_weight: f64,
+    /// Row-subsampling fraction per round, in `(0, 1]`.
+    pub subsample: f64,
+    /// Column-subsampling fraction per tree, in `(0, 1]`.
+    pub colsample: f64,
+    /// How candidate split thresholds are enumerated.
+    pub split_mode: SplitMode,
+    /// Seed for the subsampling RNG.
+    pub seed: u64,
+}
+
+impl GbdtConfig {
+    /// A compact configuration suited to CQC's small tabular inputs.
+    pub fn small() -> Self {
+        Self {
+            rounds: 60,
+            max_depth: 4,
+            learning_rate: 0.2,
+            lambda: 1.0,
+            gamma: 0.0,
+            // Softmax hessians are at most 0.25 per row, so a whole-unit
+            // child-weight floor would forbid splits on tiny datasets.
+            min_child_weight: 0.1,
+            subsample: 0.9,
+            colsample: 0.9,
+            split_mode: SplitMode::Exact,
+            seed: 17,
+        }
+    }
+
+    /// A histogram-split configuration for larger tabular inputs.
+    pub fn histogram(bins: usize) -> Self {
+        Self {
+            split_mode: SplitMode::Histogram { bins },
+            ..Self::small()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.rounds > 0, "need at least one boosting round");
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(self.lambda >= 0.0 && self.gamma >= 0.0, "regularizers must be >= 0");
+        assert!(
+            self.subsample > 0.0 && self.subsample <= 1.0,
+            "subsample must be in (0, 1]"
+        );
+        assert!(
+            self.colsample > 0.0 && self.colsample <= 1.0,
+            "colsample must be in (0, 1]"
+        );
+        assert!(self.min_child_weight >= 0.0, "min_child_weight must be >= 0");
+    }
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// A trained multiclass gradient-boosting model.
+///
+/// See the crate docs for the objective; use [`GbdtClassifier::fit`] to train
+/// and [`GbdtClassifier::predict_proba`] / [`GbdtClassifier::predict`] for
+/// inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbdtClassifier {
+    /// `trees[round][class]`.
+    trees: Vec<Vec<RegressionTree>>,
+    /// Per-class prior log-odds (from class frequencies).
+    base_scores: Vec<f64>,
+    classes: usize,
+    features: usize,
+    learning_rate: f64,
+    importance: Vec<f64>,
+}
+
+impl GbdtClassifier {
+    /// Trains with early stopping: after each boosting round the model is
+    /// scored on the held-out `(val_rows, val_labels)` by multiclass
+    /// log-loss, and training stops once `patience` rounds pass without an
+    /// improvement; the returned model is truncated to the best round.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`GbdtClassifier::fit`], plus if
+    /// the validation set is empty/ragged or `patience == 0`.
+    pub fn fit_with_validation(
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        val_rows: &[Vec<f64>],
+        val_labels: &[usize],
+        classes: usize,
+        config: &GbdtConfig,
+        patience: usize,
+    ) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        assert!(
+            !val_rows.is_empty() && val_rows.len() == val_labels.len(),
+            "validation set must be non-empty and consistent"
+        );
+        let mut model = Self::fit(rows, labels, classes, config);
+
+        // Score the validation set incrementally, one round at a time.
+        let mut scores: Vec<Vec<f64>> = vec![model.base_scores.clone(); val_rows.len()];
+        let mut best_loss = f64::INFINITY;
+        let mut best_round = 0usize;
+        for round in 0..model.trees.len() {
+            for (score, row) in scores.iter_mut().zip(val_rows) {
+                for (class, tree) in model.trees[round].iter().enumerate() {
+                    score[class] += model.learning_rate * tree.predict(row);
+                }
+            }
+            let loss = log_loss_of_scores(&scores, val_labels);
+            if loss < best_loss - 1e-9 {
+                best_loss = loss;
+                best_round = round + 1;
+            } else if round + 1 - best_round >= patience {
+                break;
+            }
+        }
+        model.trees.truncate(best_round.max(1));
+        model
+    }
+
+    /// Multiclass log-loss of this model on a labeled set (lower is better).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty or inconsistent.
+    pub fn log_loss(&self, rows: &[Vec<f64>], labels: &[usize]) -> f64 {
+        assert!(!rows.is_empty() && rows.len() == labels.len(), "bad eval set");
+        let scores: Vec<Vec<f64>> = rows.iter().map(|r| self.decision_scores(r)).collect();
+        log_loss_of_scores(&scores, labels)
+    }
+
+    /// Trains a model on dense rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or ragged, a label is `>= classes`, a
+    /// feature is NaN, or the configuration is invalid.
+    pub fn fit(rows: &[Vec<f64>], labels: &[usize], classes: usize, config: &GbdtConfig) -> Self {
+        config.validate();
+        assert!(!rows.is_empty(), "training set must be non-empty");
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        assert!(classes >= 2, "need at least two classes");
+        let n_features = rows[0].len();
+        assert!(n_features > 0, "rows must have at least one feature");
+        for row in rows {
+            assert_eq!(row.len(), n_features, "ragged feature rows");
+            assert!(row.iter().all(|v| v.is_finite()), "features must be finite");
+        }
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "labels must be < classes"
+        );
+
+        let n = rows.len();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Prior log-odds from class frequencies (Laplace smoothed).
+        let mut counts = vec![1.0f64; classes];
+        for &l in labels {
+            counts[l] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        let base_scores: Vec<f64> = counts.iter().map(|c| (c / total).ln()).collect();
+
+        // Raw scores per (row, class).
+        let mut scores: Vec<Vec<f64>> = vec![base_scores.clone(); n];
+
+        let params = TreeParams {
+            max_depth: config.max_depth,
+            lambda: config.lambda,
+            gamma: config.gamma,
+            min_child_weight: config.min_child_weight,
+            split_mode: config.split_mode,
+        };
+
+        let mut trees = Vec::with_capacity(config.rounds);
+        let mut importance = vec![0.0; n_features];
+        let all_rows: Vec<usize> = (0..n).collect();
+        let all_cols: Vec<usize> = (0..n_features).collect();
+
+        for _ in 0..config.rounds {
+            // Row subsample for this round.
+            let rows_used: Vec<usize> = if config.subsample < 1.0 {
+                let take = ((n as f64 * config.subsample).round() as usize).clamp(1, n);
+                let mut shuffled = all_rows.clone();
+                shuffled.shuffle(&mut rng);
+                shuffled.truncate(take);
+                shuffled
+            } else {
+                all_rows.clone()
+            };
+
+            // Softmax probabilities for the current scores.
+            let probs: Vec<Vec<f64>> = scores.iter().map(|s| softmax(s)).collect();
+
+            let mut round_trees = Vec::with_capacity(classes);
+            for class in 0..classes {
+                let grad: Vec<f64> = (0..n)
+                    .map(|i| probs[i][class] - if labels[i] == class { 1.0 } else { 0.0 })
+                    .collect();
+                let hess: Vec<f64> = (0..n)
+                    .map(|i| (probs[i][class] * (1.0 - probs[i][class])).max(1e-6))
+                    .collect();
+
+                let cols_used: Vec<usize> = if config.colsample < 1.0 {
+                    let take = ((n_features as f64 * config.colsample).round() as usize)
+                        .clamp(1, n_features);
+                    let mut shuffled = all_cols.clone();
+                    shuffled.shuffle(&mut rng);
+                    shuffled.truncate(take);
+                    shuffled
+                } else {
+                    all_cols.clone()
+                };
+
+                let tree = RegressionTree::fit(rows, &grad, &hess, &rows_used, &cols_used, &params);
+                tree.accumulate_importance(&mut importance);
+                // Update scores for all rows (not just the subsample).
+                for (i, row) in rows.iter().enumerate() {
+                    scores[i][class] += config.learning_rate * tree.predict(row);
+                }
+                round_trees.push(tree);
+            }
+            trees.push(round_trees);
+        }
+
+        Self {
+            trees,
+            base_scores,
+            classes,
+            features: n_features,
+            learning_rate: config.learning_rate,
+            importance,
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of input features the model expects.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Boosting rounds actually trained.
+    pub fn rounds(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Raw (pre-softmax) scores for one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.features()`.
+    pub fn decision_scores(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.features, "feature arity mismatch");
+        let mut scores = self.base_scores.clone();
+        for round in &self.trees {
+            for (class, tree) in round.iter().enumerate() {
+                scores[class] += self.learning_rate * tree.predict(row);
+            }
+        }
+        scores
+    }
+
+    /// Class-probability vector (softmax of the decision scores).
+    pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        softmax(&self.decision_scores(row))
+    }
+
+    /// The most probable class.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let probs = self.predict_proba(row);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite probabilities"))
+            .map(|(i, _)| i)
+            .expect("at least two classes")
+    }
+
+    /// Accuracy over a labeled evaluation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty or mismatched.
+    pub fn accuracy(&self, rows: &[Vec<f64>], labels: &[usize]) -> f64 {
+        assert!(!rows.is_empty() && rows.len() == labels.len(), "bad eval set");
+        let correct = rows
+            .iter()
+            .zip(labels)
+            .filter(|(row, &l)| self.predict(row) == l)
+            .count();
+        correct as f64 / rows.len() as f64
+    }
+
+    /// Total split gain accumulated per feature (unnormalized importances).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+}
+
+fn log_loss_of_scores(scores: &[Vec<f64>], labels: &[usize]) -> f64 {
+    let mut total = 0.0;
+    for (score, &label) in scores.iter().zip(labels) {
+        let probs = softmax(score);
+        total -= probs[label].max(1e-12).ln();
+    }
+    total / scores.len() as f64
+}
+
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three Gaussian-ish blobs on a line, deterministic construction.
+    fn blobs(n_per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for i in 0..n_per_class {
+                let jitter = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+                rows.push(vec![c as f64 * 3.0 + jitter, (i % 7) as f64 / 7.0]);
+                labels.push(c);
+            }
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn learns_separable_blobs_perfectly() {
+        let (rows, labels) = blobs(30);
+        let model = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::small());
+        assert_eq!(model.accuracy(&rows, &labels), 1.0);
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let (rows, labels) = blobs(10);
+        let model = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::small());
+        for row in &rows {
+            let p = model.predict_proba(row);
+            assert_eq!(p.len(), 3);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|x| (0.0..=1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_training_fit() {
+        let (rows, labels) = blobs(20);
+        let short = GbdtClassifier::fit(
+            &rows,
+            &labels,
+            3,
+            &GbdtConfig { rounds: 2, ..GbdtConfig::small() },
+        );
+        let long = GbdtClassifier::fit(
+            &rows,
+            &labels,
+            3,
+            &GbdtConfig { rounds: 40, ..GbdtConfig::small() },
+        );
+        assert!(long.accuracy(&rows, &labels) >= short.accuracy(&rows, &labels));
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let a = (i / 20) as f64;
+            let b = ((i / 10) % 2) as f64;
+            let noise = (i % 10) as f64 * 0.01;
+            rows.push(vec![a + noise, b - noise]);
+            labels.push(((a as usize) ^ (b as usize)) as usize);
+        }
+        let model = GbdtClassifier::fit(&rows, &labels, 2, &GbdtConfig::small());
+        assert!(model.accuracy(&rows, &labels) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (rows, labels) = blobs(15);
+        let a = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::small());
+        let b = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn base_scores_reflect_class_imbalance() {
+        // 90% class 0 with uninformative features: model should predict 0.
+        let rows: Vec<Vec<f64>> = (0..100).map(|_| vec![0.5]).collect();
+        let mut labels = vec![0usize; 90];
+        labels.extend(vec![1usize; 10]);
+        let model = GbdtClassifier::fit(&rows, &labels, 2, &GbdtConfig::small());
+        assert_eq!(model.predict(&[0.5]), 0);
+        let p = model.predict_proba(&[0.5]);
+        assert!(p[0] > 0.7, "prior must dominate: {p:?}");
+    }
+
+    #[test]
+    fn feature_importance_identifies_signal_feature() {
+        let (rows, labels) = blobs(30);
+        let model = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::small());
+        let imp = model.feature_importance();
+        assert!(imp[0] > imp[1], "importances {imp:?}");
+    }
+
+    #[test]
+    fn generalizes_to_held_out_points() {
+        let (rows, labels) = blobs(40);
+        let (train_r, test_r): (Vec<_>, Vec<_>) =
+            rows.iter().cloned().enumerate().partition(|(i, _)| i % 4 != 0);
+        let (train_l, test_l): (Vec<_>, Vec<_>) =
+            labels.iter().copied().enumerate().partition(|(i, _)| i % 4 != 0);
+        let train_rows: Vec<Vec<f64>> = train_r.into_iter().map(|(_, r)| r).collect();
+        let train_labels: Vec<usize> = train_l.into_iter().map(|(_, l)| l).collect();
+        let test_rows: Vec<Vec<f64>> = test_r.into_iter().map(|(_, r)| r).collect();
+        let test_labels: Vec<usize> = test_l.into_iter().map(|(_, l)| l).collect();
+        let model = GbdtClassifier::fit(&train_rows, &train_labels, 3, &GbdtConfig::small());
+        assert!(model.accuracy(&test_rows, &test_labels) > 0.9);
+    }
+
+    #[test]
+    fn histogram_mode_matches_exact_accuracy_on_blobs() {
+        let (rows, labels) = blobs(40);
+        let exact = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::small());
+        let hist = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::histogram(32));
+        let acc_exact = exact.accuracy(&rows, &labels);
+        let acc_hist = hist.accuracy(&rows, &labels);
+        assert!(
+            acc_hist >= acc_exact - 0.05,
+            "histogram {acc_hist} must track exact {acc_exact}"
+        );
+    }
+
+    #[test]
+    fn early_stopping_truncates_on_noise() {
+        // Random labels: beyond a few rounds the model only memorizes, so
+        // validation loss stops improving and early stopping must kick in
+        // well before the configured 80 rounds.
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![((i * 37) % 97) as f64, ((i * 61) % 89) as f64])
+            .collect();
+        let labels: Vec<usize> = (0..120).map(|i| (i * 7 + i / 13) % 3).collect();
+        let (train_r, val_r) = rows.split_at(80);
+        let (train_l, val_l) = labels.split_at(80);
+        let config = GbdtConfig { rounds: 80, ..GbdtConfig::small() };
+        let model = GbdtClassifier::fit_with_validation(
+            train_r, train_l, val_r, val_l, 3, &config, 5,
+        );
+        assert!(model.rounds() < 80, "stopped at {} rounds", model.rounds());
+        // And the truncated model's validation loss must be no worse than
+        // the fully boosted one.
+        let full = GbdtClassifier::fit(train_r, train_l, 3, &config);
+        assert!(model.log_loss(val_r, val_l) <= full.log_loss(val_r, val_l) + 1e-9);
+    }
+
+    #[test]
+    fn early_stopping_keeps_training_on_clean_data() {
+        let (rows, labels) = blobs(40);
+        let (train_r, val_r) = rows.split_at(90);
+        let (train_l, val_l) = labels.split_at(90);
+        let config = GbdtConfig { rounds: 30, ..GbdtConfig::small() };
+        let model = GbdtClassifier::fit_with_validation(
+            train_r, train_l, val_r, val_l, 3, &config, 10,
+        );
+        assert!(model.accuracy(val_r, val_l) > 0.9);
+    }
+
+    #[test]
+    fn log_loss_orders_models_sensibly() {
+        let (rows, labels) = blobs(20);
+        let short = GbdtClassifier::fit(
+            &rows, &labels, 3, &GbdtConfig { rounds: 1, ..GbdtConfig::small() },
+        );
+        let long = GbdtClassifier::fit(
+            &rows, &labels, 3, &GbdtConfig { rounds: 40, ..GbdtConfig::small() },
+        );
+        assert!(long.log_loss(&rows, &labels) < short.log_loss(&rows, &labels));
+    }
+
+    #[test]
+    fn cloned_models_predict_identically() {
+        let (rows, labels) = blobs(15);
+        let model = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::small());
+        let clone = model.clone();
+        assert_eq!(model, clone);
+        for row in &rows {
+            assert_eq!(model.predict_proba(row), clone.predict_proba(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn zero_patience_rejected() {
+        let (rows, labels) = blobs(5);
+        GbdtClassifier::fit_with_validation(
+            &rows, &labels, &rows, &labels, 3, &GbdtConfig::small(), 0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be < classes")]
+    fn rejects_out_of_range_labels() {
+        GbdtClassifier::fit(&[vec![0.0]], &[5], 3, &GbdtConfig::small());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        GbdtClassifier::fit(
+            &[vec![0.0], vec![0.0, 1.0]],
+            &[0, 1],
+            2,
+            &GbdtConfig::small(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity mismatch")]
+    fn rejects_wrong_arity_at_predict() {
+        let (rows, labels) = blobs(5);
+        let model = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::small());
+        model.predict(&[1.0, 2.0, 3.0]);
+    }
+}

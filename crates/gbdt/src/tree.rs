@@ -1,0 +1,429 @@
+//! Regression trees on gradient/hessian pairs (the XGBoost tree booster).
+
+use serde::{Deserialize, Serialize};
+
+/// How candidate split thresholds are enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitMode {
+    /// Sort each feature and consider every boundary between distinct
+    /// values — optimal, `O(n log n)` per feature per node. The right choice
+    /// for CQC-sized data.
+    Exact,
+    /// Bucket each feature into equal-width bins over the node's value range
+    /// and consider only bin edges — `O(n)` per feature per node, the
+    /// standard approximation for larger datasets (LightGBM/XGBoost `hist`).
+    Histogram {
+        /// Number of buckets per feature (at least 2).
+        bins: usize,
+    },
+}
+
+impl Default for SplitMode {
+    fn default() -> Self {
+        SplitMode::Exact
+    }
+}
+
+/// Parameters a single tree needs from the boosting configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TreeParams {
+    pub max_depth: usize,
+    pub lambda: f64,
+    pub gamma: f64,
+    pub min_child_weight: f64,
+    pub split_mode: SplitMode,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Gain of this split (used for feature importance).
+        gain: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A depth-limited regression tree fit to `(gradient, hessian)` targets with
+/// XGBoost-style structure scores.
+///
+/// Leaf weight: `-G / (H + lambda)`. Split gain:
+/// `1/2 [ G_L^2/(H_L+λ) + G_R^2/(H_R+λ) - G^2/(H+λ) ] - γ`.
+/// Splits are taken only when the gain is positive and both children carry
+/// at least `min_child_weight` hessian mass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on the given rows.
+    ///
+    /// `rows` indexes into `features`/`grad`/`hess`; `columns` restricts the
+    /// candidate split features (column subsampling).
+    pub(crate) fn fit(
+        features: &[Vec<f64>],
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        columns: &[usize],
+        params: &TreeParams,
+    ) -> Self {
+        assert!(!rows.is_empty(), "tree needs at least one row");
+        let mut tree = Self { nodes: Vec::new() };
+        tree.build(features, grad, hess, rows, columns, params, 0);
+        tree
+    }
+
+    /// Recursively builds the subtree over `rows`, returning its node index.
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        features: &[Vec<f64>],
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        columns: &[usize],
+        params: &TreeParams,
+        depth: usize,
+    ) -> usize {
+        let g_sum: f64 = rows.iter().map(|&r| grad[r]).sum();
+        let h_sum: f64 = rows.iter().map(|&r| hess[r]).sum();
+
+        let make_leaf = |tree: &mut Self| {
+            let weight = -g_sum / (h_sum + params.lambda);
+            tree.nodes.push(Node::Leaf { weight });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || rows.len() < 2 {
+            return make_leaf(self);
+        }
+
+        let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+
+        let consider = |f: usize, threshold: f64, gl: f64, hl: f64, best: &mut Option<(usize, f64, f64)>| {
+            let gr = g_sum - gl;
+            let hr = h_sum - hl;
+            if hl < params.min_child_weight || hr < params.min_child_weight {
+                return;
+            }
+            let gain = 0.5
+                * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                    - parent_score)
+                - params.gamma;
+            if gain > 0.0 && best.map_or(true, |(_, _, bg)| gain > bg) {
+                *best = Some((f, threshold, gain));
+            }
+        };
+
+        for &f in columns {
+            match params.split_mode {
+                SplitMode::Exact => {
+                    let mut order: Vec<usize> = rows.to_vec();
+                    order.sort_by(|&a, &b| {
+                        features[a][f]
+                            .partial_cmp(&features[b][f])
+                            .expect("finite features")
+                    });
+                    let mut gl = 0.0;
+                    let mut hl = 0.0;
+                    for w in order.windows(2) {
+                        gl += grad[w[0]];
+                        hl += hess[w[0]];
+                        let (va, vb) = (features[w[0]][f], features[w[1]][f]);
+                        if va == vb {
+                            continue; // cannot split between equal values
+                        }
+                        consider(f, 0.5 * (va + vb), gl, hl, &mut best);
+                    }
+                }
+                SplitMode::Histogram { bins } => {
+                    let bins = bins.max(2);
+                    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                    for &r in rows {
+                        lo = lo.min(features[r][f]);
+                        hi = hi.max(features[r][f]);
+                    }
+                    if hi - lo < f64::EPSILON {
+                        continue; // constant feature at this node
+                    }
+                    let width = (hi - lo) / bins as f64;
+                    let mut g_bins = vec![0.0f64; bins];
+                    let mut h_bins = vec![0.0f64; bins];
+                    for &r in rows {
+                        let b = (((features[r][f] - lo) / width) as usize).min(bins - 1);
+                        g_bins[b] += grad[r];
+                        h_bins[b] += hess[r];
+                    }
+                    let mut gl = 0.0;
+                    let mut hl = 0.0;
+                    for b in 0..bins - 1 {
+                        gl += g_bins[b];
+                        hl += h_bins[b];
+                        let threshold = lo + width * (b + 1) as f64;
+                        consider(f, threshold, gl, hl, &mut best);
+                    }
+                }
+            }
+        }
+
+        let Some((feature, threshold, gain)) = best else {
+            return make_leaf(self);
+        };
+
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .iter()
+            .partition(|&&r| features[r][feature] < threshold);
+        if left_rows.is_empty() || right_rows.is_empty() {
+            // Possible under histogram splitting when a bin edge separates
+            // no samples (e.g. empty leading bins): fall back to a leaf.
+            return make_leaf(self);
+        }
+
+        // Reserve this node's slot before recursing so child indices are
+        // stable.
+        let index = self.nodes.len();
+        self.nodes.push(Node::Leaf { weight: 0.0 });
+        let left = self.build(features, grad, hess, &left_rows, columns, params, depth + 1);
+        let right = self.build(features, grad, hess, &right_rows, columns, params, depth + 1);
+        self.nodes[index] = Node::Split {
+            feature,
+            threshold,
+            gain,
+            left,
+            right,
+        };
+        index
+    }
+
+    /// The tree's raw prediction for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than a feature index used by the tree.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Total number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Accumulates each split's gain into `importance[feature]`.
+    pub(crate) fn accumulate_importance(&self, importance: &mut [f64]) {
+        for node in &self.nodes {
+            if let Node::Split { feature, gain, .. } = node {
+                importance[*feature] += gain;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PARAMS: TreeParams = TreeParams {
+        max_depth: 4,
+        lambda: 1.0,
+        gamma: 0.0,
+        min_child_weight: 1e-6,
+        split_mode: SplitMode::Exact,
+    };
+
+    /// Squared-error fitting reduces to grad = pred - target with hess = 1
+    /// when starting from a zero prediction: grad = -target.
+    fn fit_regression(features: &[Vec<f64>], targets: &[f64], params: &TreeParams) -> RegressionTree {
+        let grad: Vec<f64> = targets.iter().map(|t| -t).collect();
+        let hess = vec![1.0; targets.len()];
+        let rows: Vec<usize> = (0..targets.len()).collect();
+        let cols: Vec<usize> = (0..features[0].len()).collect();
+        RegressionTree::fit(features, &grad, &hess, &rows, &cols, params)
+    }
+
+    #[test]
+    fn fits_a_step_function() {
+        let features: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..10).map(|i| if i < 5 { -1.0 } else { 1.0 }).collect();
+        let tree = fit_regression(&features, &targets, &PARAMS);
+        assert!(tree.predict(&[2.0]) < 0.0);
+        assert!(tree.predict(&[8.0]) > 0.0);
+    }
+
+    #[test]
+    fn constant_targets_produce_single_leaf() {
+        let features: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        let targets = vec![2.0; 6];
+        let tree = fit_regression(&features, &targets, &PARAMS);
+        assert_eq!(tree.leaf_count(), 1);
+        // Leaf weight shrunk by lambda: -(-12)/(6+1).
+        assert!((tree.predict(&[3.0]) - 12.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_is_a_stump_root() {
+        let features: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        let targets = vec![-1.0, -1.0, 1.0, 1.0];
+        let params = TreeParams { max_depth: 0, ..PARAMS };
+        let tree = fit_regression(&features, &targets, &params);
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn gamma_prunes_weak_splits() {
+        let features: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        // Almost-constant targets: the best split's gain is tiny.
+        let targets = vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.05];
+        let strict = TreeParams { gamma: 10.0, ..PARAMS };
+        let tree = fit_regression(&features, &targets, &strict);
+        assert_eq!(tree.leaf_count(), 1, "high gamma must prune everything");
+    }
+
+    #[test]
+    fn pure_xor_defeats_a_single_greedy_tree() {
+        // Known property of greedy gain splitting: on perfectly balanced XOR
+        // every first-level split has exactly zero gain, so the tree cannot
+        // grow. (The *boosted* model handles noisy XOR — see the model
+        // tests — because subsampling and residual fitting break the tie.)
+        let features = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let targets = vec![-1.0, 1.0, 1.0, -1.0];
+        let tree = fit_regression(&features, &targets, &PARAMS);
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn xor_with_a_tilt_splits_to_depth_two() {
+        // Break the gain tie with a slight class imbalance and the greedy
+        // tree recovers the XOR structure.
+        let features = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.1, 0.9],
+        ];
+        let targets = vec![-1.0, 1.0, 1.0, -1.0, 1.0];
+        let tree = fit_regression(&features, &targets, &PARAMS);
+        assert!(tree.predict(&[0.0, 0.0]) < 0.0);
+        assert!(tree.predict(&[0.0, 1.0]) > 0.0);
+        assert!(tree.predict(&[1.0, 0.0]) > 0.0);
+        assert!(tree.predict(&[1.0, 1.0]) < 0.0);
+    }
+
+    #[test]
+    fn tied_feature_values_never_split_apart() {
+        let features = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let targets = vec![-1.0, 0.0, 1.0];
+        let tree = fit_regression(&features, &targets, &PARAMS);
+        assert_eq!(tree.leaf_count(), 1, "identical features cannot be split");
+    }
+
+    #[test]
+    fn column_restriction_is_respected() {
+        // Feature 0 is perfectly informative, feature 1 is noise; restrict
+        // to feature 1 and verify feature 0 is never used.
+        let features = vec![
+            vec![0.0, 0.3],
+            vec![0.0, 0.9],
+            vec![1.0, 0.1],
+            vec![1.0, 0.8],
+        ];
+        let grad = vec![1.0, 1.0, -1.0, -1.0];
+        let hess = vec![1.0; 4];
+        let tree = RegressionTree::fit(&features, &grad, &hess, &[0, 1, 2, 3], &[1], &PARAMS);
+        let mut importance = vec![0.0; 2];
+        tree.accumulate_importance(&mut importance);
+        assert_eq!(importance[0], 0.0, "feature 0 was excluded");
+    }
+
+    #[test]
+    fn histogram_splitting_matches_exact_on_a_step_function() {
+        let features: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..40).map(|i| if i < 20 { -1.0 } else { 1.0 }).collect();
+        let hist_params = TreeParams {
+            split_mode: SplitMode::Histogram { bins: 8 },
+            ..PARAMS
+        };
+        let exact = fit_regression(&features, &targets, &PARAMS);
+        let hist = fit_regression(&features, &targets, &hist_params);
+        for x in [3.0, 12.0, 27.0, 38.0] {
+            assert_eq!(
+                exact.predict(&[x]).signum(),
+                hist.predict(&[x]).signum(),
+                "disagreement at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_with_few_bins_still_produces_a_valid_tree() {
+        let features: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, i as f64]).collect();
+        let targets: Vec<f64> = (0..30).map(|i| if i % 7 < 3 { -1.0 } else { 1.0 }).collect();
+        let params = TreeParams {
+            split_mode: SplitMode::Histogram { bins: 2 },
+            ..PARAMS
+        };
+        let tree = fit_regression(&features, &targets, &params);
+        assert!(tree.leaf_count() >= 1);
+        assert!(tree.predict(&[1.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn histogram_handles_constant_features() {
+        let features = vec![vec![5.0], vec![5.0], vec![5.0], vec![5.0]];
+        let targets = vec![-1.0, 1.0, -1.0, 1.0];
+        let params = TreeParams {
+            split_mode: SplitMode::Histogram { bins: 16 },
+            ..PARAMS
+        };
+        let tree = fit_regression(&features, &targets, &params);
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn importance_prefers_the_informative_feature() {
+        let features: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i % 3) as f64 * 0.01])
+            .collect();
+        let targets: Vec<f64> = (0..20).map(|i| if i < 10 { -1.0 } else { 1.0 }).collect();
+        let tree = fit_regression(&features, &targets, &PARAMS);
+        let mut importance = vec![0.0; 2];
+        tree.accumulate_importance(&mut importance);
+        assert!(importance[0] > importance[1]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Multi-class confusion matrices and the macro-averaged classification
+//! scores reported throughout the paper (Accuracy, Precision, Recall, F1 in
+//! Table II are "macro-averaged since the dataset has balanced class labels").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-class precision/recall/F1 report extracted from a [`ConfusionMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Index of the class this report describes.
+    pub class: usize,
+    /// Precision: `tp / (tp + fp)`; `0.0` when the class was never predicted.
+    pub precision: f64,
+    /// Recall: `tp / (tp + fn)`; `0.0` when the class never occurred.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; `0.0` when both are zero.
+    pub f1: f64,
+    /// Number of ground-truth instances of this class (`tp + fn`).
+    pub support: usize,
+}
+
+/// A `K x K` confusion matrix over class indices `0..K`.
+///
+/// Rows index the ground truth, columns index the prediction. Counts are
+/// accumulated with [`ConfusionMatrix::record`]; all scores are derived views
+/// and can be queried at any point.
+///
+/// # Example
+///
+/// ```
+/// use crowdlearn_metrics::ConfusionMatrix;
+///
+/// let cm = ConfusionMatrix::from_pairs(3, [(0usize, 0usize), (1, 2), (2, 2)]);
+/// assert_eq!(cm.count(1, 2), 1);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    // Row-major: counts[truth * classes + pred].
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty confusion matrix for `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "a confusion matrix needs at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Builds a matrix directly from `(truth, prediction)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or any index is out of range.
+    pub fn from_pairs<I>(classes: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut cm = Self::new(classes);
+        for (truth, pred) in pairs {
+            cm.record(truth, pred);
+        }
+        cm
+    }
+
+    /// Number of classes `K`.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one observation with ground-truth class `truth` and predicted
+    /// class `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth` or `pred` is `>= K`.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.classes, "truth class {truth} out of range");
+        assert!(pred < self.classes, "predicted class {pred} out of range");
+        self.counts[truth * self.classes + pred] += 1;
+    }
+
+    /// Merges another matrix of the same shape into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(
+            self.classes, other.classes,
+            "cannot merge confusion matrices of different sizes"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Count of observations with ground truth `truth` predicted as `pred`.
+    pub fn count(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of observations on the diagonal. Returns `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Number of ground-truth instances of `class`.
+    pub fn support(&self, class: usize) -> u64 {
+        (0..self.classes).map(|p| self.count(class, p)).sum()
+    }
+
+    /// Number of times `class` was predicted.
+    pub fn predicted(&self, class: usize) -> u64 {
+        (0..self.classes).map(|t| self.count(t, class)).sum()
+    }
+
+    /// Per-class precision/recall/F1 report.
+    pub fn class_report(&self, class: usize) -> ClassReport {
+        let tp = self.count(class, class) as f64;
+        let predicted = self.predicted(class) as f64;
+        let support = self.support(class);
+        let precision = if predicted > 0.0 { tp / predicted } else { 0.0 };
+        let recall = if support > 0 { tp / support as f64 } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        ClassReport {
+            class,
+            precision,
+            recall,
+            f1,
+            support: support as usize,
+        }
+    }
+
+    /// Reports for every class, in class-index order.
+    pub fn class_reports(&self) -> Vec<ClassReport> {
+        (0..self.classes).map(|c| self.class_report(c)).collect()
+    }
+
+    /// Unweighted mean of per-class precisions (macro averaging).
+    pub fn macro_precision(&self) -> f64 {
+        self.macro_mean(|r| r.precision)
+    }
+
+    /// Unweighted mean of per-class recalls (macro averaging).
+    pub fn macro_recall(&self) -> f64 {
+        self.macro_mean(|r| r.recall)
+    }
+
+    /// Unweighted mean of per-class F1 scores (macro averaging).
+    ///
+    /// This is the F1 definition used for Table II: macro-averaged because
+    /// the dataset is class-balanced.
+    pub fn macro_f1(&self) -> f64 {
+        self.macro_mean(|r| r.f1)
+    }
+
+    /// Micro-averaged precision. With single-label multi-class data this
+    /// equals [`ConfusionMatrix::accuracy`]; exposed for completeness.
+    pub fn micro_precision(&self) -> f64 {
+        self.accuracy()
+    }
+
+    fn macro_mean(&self, score: impl Fn(&ClassReport) -> f64) -> f64 {
+        let reports = self.class_reports();
+        if reports.is_empty() {
+            return 0.0;
+        }
+        reports.iter().map(score).sum::<f64>() / reports.len() as f64
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "truth\\pred")?;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                write!(f, "{:>8}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "accuracy={:.4} macro_p={:.4} macro_r={:.4} macro_f1={:.4}",
+            self.accuracy(),
+            self.macro_precision(),
+            self.macro_recall(),
+            self.macro_f1()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_has_zero_scores() {
+        let cm = ConfusionMatrix::new(3);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let cm = ConfusionMatrix::from_pairs(3, (0..3).map(|c| (c, c)));
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_precision(), 1.0);
+        assert_eq!(cm.macro_recall(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn always_wrong_scores_zero() {
+        let cm = ConfusionMatrix::from_pairs(2, [(0, 1), (1, 0)]);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn matches_hand_computed_binary_scores() {
+        // tp=3 fp=1 fn=2 tn=4 for class 1.
+        let mut cm = ConfusionMatrix::new(2);
+        for _ in 0..3 {
+            cm.record(1, 1);
+        }
+        cm.record(0, 1);
+        for _ in 0..2 {
+            cm.record(1, 0);
+        }
+        for _ in 0..4 {
+            cm.record(0, 0);
+        }
+        let r = cm.class_report(1);
+        assert!((r.precision - 0.75).abs() < 1e-12);
+        assert!((r.recall - 0.6).abs() < 1e-12);
+        let expected_f1 = 2.0 * 0.75 * 0.6 / (0.75 + 0.6);
+        assert!((r.f1 - expected_f1).abs() < 1e-12);
+        assert_eq!(r.support, 5);
+    }
+
+    #[test]
+    fn never_predicted_class_has_zero_precision_without_nan() {
+        let cm = ConfusionMatrix::from_pairs(3, [(0, 0), (1, 0), (2, 0)]);
+        let r = cm.class_report(2);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.f1, 0.0);
+        assert!(cm.macro_f1().is_finite());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = ConfusionMatrix::from_pairs(2, [(0, 0), (1, 1)]);
+        let mut b = ConfusionMatrix::from_pairs(2, [(0, 1)]);
+        b.merge(&a);
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.count(0, 0), 1);
+        assert_eq!(b.count(0, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_rejects_out_of_range() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let cm = ConfusionMatrix::new(2);
+        assert!(!format!("{cm}").is_empty());
+        assert!(!format!("{cm:?}").is_empty());
+    }
+
+    #[test]
+    fn micro_precision_equals_accuracy() {
+        let cm = ConfusionMatrix::from_pairs(3, [(0, 0), (1, 2), (2, 2), (0, 1)]);
+        assert_eq!(cm.micro_precision(), cm.accuracy());
+    }
+}

@@ -1,0 +1,202 @@
+//! McNemar's test for comparing two classifiers on the same test items —
+//! the right significance test for Table II-style paired accuracy claims.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of McNemar's test on paired correctness indicators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McNemarOutcome {
+    /// Items classifier A got right and B got wrong.
+    pub a_only: u64,
+    /// Items classifier B got right and A got wrong.
+    pub b_only: u64,
+    /// Two-sided p-value (exact binomial for small discordant counts,
+    /// continuity-corrected chi-square otherwise).
+    pub p_value: f64,
+}
+
+impl McNemarOutcome {
+    /// Whether the accuracy difference is significant at `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value <= alpha
+    }
+
+    /// Number of discordant items (the test's effective sample size).
+    pub fn discordant(&self) -> u64 {
+        self.a_only + self.b_only
+    }
+}
+
+/// McNemar's test over per-item correctness of two classifiers.
+///
+/// `a_correct[i]` / `b_correct[i]` state whether classifier A / B classified
+/// item `i` correctly. Only discordant items inform the test. With 25 or
+/// fewer discordant items the exact two-sided binomial test is used;
+/// otherwise the continuity-corrected chi-square approximation.
+///
+/// # Example
+///
+/// ```
+/// use crowdlearn_metrics::mcnemar_test;
+///
+/// // A fixes 12 of B's errors and introduces only 2: significant.
+/// let a: Vec<bool> = (0..100).map(|i| i >= 2).collect();
+/// let b: Vec<bool> = (0..100).map(|i| !(2..14).contains(&i) && i >= 2 || i < 2).collect();
+/// let out = mcnemar_test(&a, &b);
+/// assert!(out.significant(0.05));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mcnemar_test(a_correct: &[bool], b_correct: &[bool]) -> McNemarOutcome {
+    assert!(!a_correct.is_empty(), "need at least one item");
+    assert_eq!(
+        a_correct.len(),
+        b_correct.len(),
+        "paired samples must have equal length"
+    );
+    let mut a_only = 0u64;
+    let mut b_only = 0u64;
+    for (&a, &b) in a_correct.iter().zip(b_correct) {
+        match (a, b) {
+            (true, false) => a_only += 1,
+            (false, true) => b_only += 1,
+            _ => {}
+        }
+    }
+    let n = a_only + b_only;
+    let p_value = if n == 0 {
+        1.0
+    } else if n <= 25 {
+        exact_binomial_two_sided(a_only.min(b_only), n)
+    } else {
+        // Chi-square with continuity correction, 1 degree of freedom.
+        let diff = (a_only as f64 - b_only as f64).abs() - 1.0;
+        let chi2 = (diff.max(0.0)).powi(2) / n as f64;
+        chi_square_1df_sf(chi2)
+    };
+    McNemarOutcome {
+        a_only,
+        b_only,
+        p_value: p_value.clamp(0.0, 1.0),
+    }
+}
+
+/// Two-sided exact binomial p-value: `2 * P(X <= k)` for `X ~ Bin(n, 1/2)`,
+/// capped at 1.
+fn exact_binomial_two_sided(k: u64, n: u64) -> f64 {
+    let mut cdf = 0.0f64;
+    for i in 0..=k {
+        cdf += binomial_pmf_half(i, n);
+    }
+    (2.0 * cdf).min(1.0)
+}
+
+fn binomial_pmf_half(k: u64, n: u64) -> f64 {
+    // C(n, k) / 2^n computed in log space for stability.
+    let mut log_c = 0.0f64;
+    for i in 0..k {
+        log_c += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    (log_c - n as f64 * std::f64::consts::LN_2).exp()
+}
+
+/// Survival function of the chi-square distribution with one degree of
+/// freedom: `P(X >= x) = erfc(sqrt(x / 2))`.
+fn chi_square_1df_sf(x: f64) -> f64 {
+    erfc((x / 2.0).sqrt())
+}
+
+fn erfc(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26 (|err| < 1.5e-7), non-negative inputs here.
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_classifiers_are_not_significant() {
+        let a = vec![true, false, true, true, false];
+        let out = mcnemar_test(&a, &a);
+        assert_eq!(out.discordant(), 0);
+        assert_eq!(out.p_value, 1.0);
+    }
+
+    #[test]
+    fn one_sided_dominance_is_significant() {
+        // A corrects 10 items, B corrects none A missed.
+        let mut a = vec![true; 50];
+        let mut b = vec![true; 50];
+        for i in 0..10 {
+            b[i] = false;
+        }
+        a[49] = false;
+        b[49] = false;
+        let out = mcnemar_test(&a, &b);
+        assert_eq!(out.a_only, 10);
+        assert_eq!(out.b_only, 0);
+        assert!(out.significant(0.05), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn balanced_disagreement_is_not_significant() {
+        let mut a = vec![true; 40];
+        let mut b = vec![true; 40];
+        for i in 0..6 {
+            b[i] = false; // A-only wins
+            a[20 + i] = false; // B-only wins
+        }
+        let out = mcnemar_test(&a, &b);
+        assert_eq!(out.a_only, out.b_only);
+        assert!(out.p_value > 0.5, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn exact_small_sample_matches_hand_computation() {
+        // 5 discordant, all favoring A: p = 2 * (1/2)^5 = 0.0625.
+        let a = vec![true; 10];
+        let mut b = vec![true; 10];
+        for i in 0..5 {
+            b[i] = false;
+        }
+        let out = mcnemar_test(&a, &b);
+        assert!((out.p_value - 0.0625).abs() < 1e-9, "p = {}", out.p_value);
+        assert!(!out.significant(0.05));
+    }
+
+    #[test]
+    fn large_sample_uses_chi_square_sensibly() {
+        // 40 vs 10 discordant: clearly significant.
+        let n = 200;
+        let mut a = vec![true; n];
+        let mut b = vec![true; n];
+        for i in 0..40 {
+            b[i] = false;
+        }
+        for i in 50..60 {
+            a[i] = false;
+        }
+        let out = mcnemar_test(&a, &b);
+        assert!(out.significant(0.01), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 20;
+        let total: f64 = (0..=n).map(|k| binomial_pmf_half(k, n)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_lengths() {
+        mcnemar_test(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Probabilistic-forecast quality: Brier score and expected calibration
+//! error for the schemes' class-probability outputs.
+//!
+//! The paper evaluates with threshold metrics (accuracy/PRF/ROC); these
+//! complement them by scoring the *probabilities* the committee, ensemble
+//! and CQC produce — useful for diagnosing over- and under-confidence in
+//! the simulated experts and in MIC's weighted mixtures.
+
+use serde::{Deserialize, Serialize};
+
+/// Multi-class Brier score: the mean squared distance between the predicted
+/// probability vector and the one-hot truth. `0` is perfect; `(K-1)/K` is
+/// the score of the uniform forecast; `2` is the worst possible.
+///
+/// # Example
+///
+/// ```
+/// use crowdlearn_metrics::brier_score;
+///
+/// let perfect = brier_score(&[vec![1.0, 0.0, 0.0]], &[0]);
+/// assert!(perfect.abs() < 1e-12);
+/// let uniform = brier_score(&[vec![1.0 / 3.0; 3]], &[0]);
+/// assert!((uniform - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if inputs are empty/mismatched or a truth index is out of range.
+pub fn brier_score(scores: &[Vec<f64>], truths: &[usize]) -> f64 {
+    assert!(!scores.is_empty(), "need at least one forecast");
+    assert_eq!(scores.len(), truths.len(), "scores/truths length mismatch");
+    let mut total = 0.0;
+    for (probs, &truth) in scores.iter().zip(truths) {
+        assert!(truth < probs.len(), "truth label out of range");
+        for (c, &p) in probs.iter().enumerate() {
+            let target = f64::from(u8::from(c == truth));
+            total += (p - target) * (p - target);
+        }
+    }
+    total / scores.len() as f64
+}
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationBin {
+    /// Lower edge of the confidence bin.
+    pub lower: f64,
+    /// Upper edge of the confidence bin.
+    pub upper: f64,
+    /// Mean predicted confidence of samples in the bin.
+    pub mean_confidence: f64,
+    /// Empirical accuracy of samples in the bin.
+    pub accuracy: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+}
+
+/// Reliability diagram + expected calibration error for top-label
+/// confidences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    bins: Vec<CalibrationBin>,
+    ece: f64,
+}
+
+impl CalibrationReport {
+    /// Builds the report from per-sample class probabilities and truths,
+    /// using `bins` equal-width confidence bins over the top-label
+    /// confidence.
+    ///
+    /// ECE is the count-weighted mean absolute gap between each bin's
+    /// confidence and its accuracy — the standard definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty/mismatched, `bins == 0`, or a truth index
+    /// is out of range.
+    pub fn from_scores(scores: &[Vec<f64>], truths: &[usize], bins: usize) -> Self {
+        assert!(!scores.is_empty(), "need at least one forecast");
+        assert_eq!(scores.len(), truths.len(), "scores/truths length mismatch");
+        assert!(bins > 0, "need at least one bin");
+
+        let mut conf_sum = vec![0.0f64; bins];
+        let mut acc_sum = vec![0.0f64; bins];
+        let mut counts = vec![0usize; bins];
+        for (probs, &truth) in scores.iter().zip(truths) {
+            assert!(truth < probs.len(), "truth label out of range");
+            let (argmax, confidence) = probs
+                .iter()
+                .copied()
+                .enumerate()
+                .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
+            let bin = ((confidence * bins as f64) as usize).min(bins - 1);
+            conf_sum[bin] += confidence;
+            acc_sum[bin] += f64::from(u8::from(argmax == truth));
+            counts[bin] += 1;
+        }
+
+        let n = scores.len() as f64;
+        let mut ece = 0.0;
+        let mut out = Vec::with_capacity(bins);
+        for b in 0..bins {
+            let count = counts[b];
+            let (mean_confidence, accuracy) = if count > 0 {
+                (conf_sum[b] / count as f64, acc_sum[b] / count as f64)
+            } else {
+                (0.0, 0.0)
+            };
+            ece += (count as f64 / n) * (mean_confidence - accuracy).abs();
+            out.push(CalibrationBin {
+                lower: b as f64 / bins as f64,
+                upper: (b + 1) as f64 / bins as f64,
+                mean_confidence,
+                accuracy,
+                count,
+            });
+        }
+        Self { bins: out, ece }
+    }
+
+    /// Expected calibration error in `[0, 1]` (0 = perfectly calibrated).
+    pub fn ece(&self) -> f64 {
+        self.ece
+    }
+
+    /// The reliability-diagram bins, lowest confidence first.
+    pub fn bins(&self) -> &[CalibrationBin] {
+        &self.bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_hot(c: usize) -> Vec<f64> {
+        let mut v = vec![0.0; 3];
+        v[c] = 1.0;
+        v
+    }
+
+    #[test]
+    fn brier_rewards_sharp_correct_forecasts() {
+        let sharp = brier_score(&[one_hot(1)], &[1]);
+        let hedged = brier_score(&[vec![0.2, 0.6, 0.2]], &[1]);
+        let wrong = brier_score(&[one_hot(0)], &[1]);
+        assert!(sharp < hedged);
+        assert!(hedged < wrong);
+        assert!((wrong - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brier_is_mean_over_samples() {
+        let a = brier_score(&[one_hot(0), one_hot(1)], &[0, 0]);
+        let perfect = brier_score(&[one_hot(0)], &[0]);
+        let worst = brier_score(&[one_hot(1)], &[0]);
+        assert!((a - 0.5 * (perfect + worst)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_calibrated_forecasts_have_zero_ece() {
+        // 10 samples at confidence 0.8 with exactly 8 correct.
+        let mut scores = Vec::new();
+        let mut truths = Vec::new();
+        for i in 0..10 {
+            scores.push(vec![0.8, 0.1, 0.1]);
+            truths.push(if i < 8 { 0 } else { 1 });
+        }
+        let report = CalibrationReport::from_scores(&scores, &truths, 10);
+        assert!(report.ece() < 1e-9, "ece {}", report.ece());
+    }
+
+    #[test]
+    fn overconfident_forecasts_have_positive_ece() {
+        // Confidence 0.9 but only half right.
+        let mut scores = Vec::new();
+        let mut truths = Vec::new();
+        for i in 0..20 {
+            scores.push(vec![0.9, 0.05, 0.05]);
+            truths.push(usize::from(i % 2 == 0)); // half the time truth = 1
+        }
+        let report = CalibrationReport::from_scores(&scores, &truths, 10);
+        assert!((report.ece() - 0.4).abs() < 1e-9, "ece {}", report.ece());
+    }
+
+    #[test]
+    fn bins_partition_the_samples() {
+        let scores = vec![
+            vec![0.35, 0.33, 0.32],
+            vec![0.55, 0.25, 0.20],
+            vec![0.95, 0.03, 0.02],
+        ];
+        let truths = vec![0, 1, 0];
+        let report = CalibrationReport::from_scores(&scores, &truths, 5);
+        let total: usize = report.bins().iter().map(|b| b.count).sum();
+        assert_eq!(total, 3);
+        assert_eq!(report.bins().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn brier_rejects_mismatch() {
+        brier_score(&[one_hot(0)], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn calibration_rejects_zero_bins() {
+        CalibrationReport::from_scores(&[vec![1.0, 0.0]], &[0], 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Summary statistics for delay measurements (Table III, Figures 5, 8, 11).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Collects samples and reports mean/std/min/max/percentiles.
+///
+/// The mean and variance use Welford's online algorithm so the summary stays
+/// numerically stable for long delay traces; percentiles retain the raw
+/// samples (delay traces in this reproduction are small, at most tens of
+/// thousands of points).
+///
+/// # Example
+///
+/// ```
+/// use crowdlearn_metrics::SummaryStats;
+///
+/// let stats: SummaryStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+/// assert!((stats.mean() - 2.5).abs() < 1e-12);
+/// assert_eq!(stats.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+}
+
+impl SummaryStats {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "summary statistics reject NaN samples");
+        self.samples.push(value);
+        let n = self.samples.len() as f64;
+        let delta = value - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of samples collected so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n-1 denominator); `0.0` with fewer than two
+    /// samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.samples.len() as f64 - 1.0)).sqrt()
+        }
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// The `q`-th quantile (nearest-rank with linear interpolation), `q` in
+    /// `[0, 1]`. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must lie in [0, 1], got {q}"
+        );
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            Some(sorted[lo])
+        } else {
+            let t = pos - lo as f64;
+            Some(sorted[lo] * (1.0 - t) + sorted[hi] * t)
+        }
+    }
+
+    /// Median (0.5 quantile); `None` when empty.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Read-only access to the raw samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &SummaryStats) {
+        for &s in &other.samples {
+            self.push(s);
+        }
+    }
+}
+
+impl FromIterator<f64> for SummaryStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = SummaryStats::new();
+        for v in iter {
+            stats.push(v);
+        }
+        stats
+    }
+}
+
+impl Extend<f64> for SummaryStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl fmt::Display for SummaryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} std={:.3} min={:.3} p50={:.3} max={:.3}",
+            self.len(),
+            self.mean(),
+            self.std_dev(),
+            self.min().unwrap_or(f64::NAN),
+            self.median().unwrap_or(f64::NAN),
+            self.max().unwrap_or(f64::NAN)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_well_behaved() {
+        let s = SummaryStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.median(), None);
+    }
+
+    #[test]
+    fn mean_and_std_match_closed_form() {
+        let s: SummaryStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of that classic example is 32/7.
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s: SummaryStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(4.0));
+        assert!((s.median().unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_concatenation() {
+        let mut a: SummaryStats = [1.0, 2.0].into_iter().collect();
+        let b: SummaryStats = [3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        let c: SummaryStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert!((a.mean() - c.mean()).abs() < 1e-12);
+        assert!((a.std_dev() - c.std_dev()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reject NaN")]
+    fn push_rejects_nan() {
+        SummaryStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn single_sample_std_is_zero() {
+        let s: SummaryStats = [42.0].into_iter().collect();
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = SummaryStats::new();
+        s.extend([1.0, 5.0]);
+        assert_eq!(s.len(), 2);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Worker-history filtering — the `Filtering` baseline of Table I
+//! (blacklists workers with a record of poor labeling quality, after Laws
+//! et al. 2011).
+
+use crate::{
+    validate_annotations, Aggregator, Annotation, LabelEstimate, MajorityVoting, WorkerId,
+};
+use std::collections::HashMap;
+
+/// Majority voting over non-blacklisted workers, with worker quality learned
+/// from agreement history across successive `aggregate` calls.
+///
+/// After each aggregation the scheme scores every contributing worker against
+/// the aggregated labels; workers whose running agreement rate drops below
+/// `threshold` after at least `min_history` annotations are excluded from
+/// future rounds. As the paper notes, the approach is blind to *new* workers
+/// — they are always admitted until history accumulates — which is exactly
+/// the weakness the Table I comparison shows.
+#[derive(Debug, Clone)]
+pub struct WorkerFiltering {
+    threshold: f64,
+    min_history: usize,
+    /// Worker → (agreements, total).
+    history: HashMap<WorkerId, (usize, usize)>,
+}
+
+impl WorkerFiltering {
+    /// Creates a filter: workers below `threshold` agreement after
+    /// `min_history` annotations are blacklisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is outside `[0, 1]` or `min_history == 0`.
+    pub fn new(threshold: f64, min_history: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
+        assert!(min_history > 0, "min_history must be positive");
+        Self {
+            threshold,
+            min_history,
+            history: HashMap::new(),
+        }
+    }
+
+    /// The paper-calibrated default: 60% agreement over at least 10 labels.
+    pub fn paper_default() -> Self {
+        Self::new(0.6, 10)
+    }
+
+    /// Whether a worker is currently blacklisted.
+    pub fn is_blacklisted(&self, worker: WorkerId) -> bool {
+        match self.history.get(&worker) {
+            Some(&(agree, total)) if total >= self.min_history => {
+                (agree as f64 / total as f64) < self.threshold
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of workers currently blacklisted.
+    pub fn blacklisted_count(&self) -> usize {
+        self.history
+            .keys()
+            .filter(|&&w| self.is_blacklisted(w))
+            .count()
+    }
+}
+
+impl Default for WorkerFiltering {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl Aggregator for WorkerFiltering {
+    fn name(&self) -> &str {
+        "Filtering"
+    }
+
+    fn aggregate(
+        &mut self,
+        annotations: &[Annotation],
+        items: usize,
+        classes: usize,
+    ) -> Vec<LabelEstimate> {
+        validate_annotations(annotations, items, classes);
+
+        // Drop blacklisted workers, falling back to the full set if the
+        // filter would silence an item entirely.
+        let kept: Vec<Annotation> = annotations
+            .iter()
+            .copied()
+            .filter(|a| !self.is_blacklisted(a.worker))
+            .collect();
+        let mut covered = vec![false; items];
+        for a in &kept {
+            covered[a.item] = true;
+        }
+        let mut has_votes = vec![false; items];
+        for a in annotations {
+            has_votes[a.item] = true;
+        }
+        let effective: Vec<Annotation> = if covered
+            .iter()
+            .zip(&has_votes)
+            .all(|(&c, &h)| c || !h)
+        {
+            kept
+        } else {
+            annotations.to_vec()
+        };
+
+        let estimates = MajorityVoting.aggregate(&effective, items, classes);
+
+        // Update worker history against the aggregated labels.
+        for a in annotations {
+            let agreed = estimates[a.item].label() == a.label;
+            let entry = self.history.entry(a.worker).or_insert((0, 0));
+            entry.0 += usize::from(agreed);
+            entry.1 += 1;
+        }
+
+        estimates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(w: u32, item: usize, label: usize) -> Annotation {
+        Annotation::new(WorkerId(w), item, label)
+    }
+
+    /// Rounds of 10 items where workers 0-2 are correct and worker 3 always
+    /// reports class 1 regardless of truth (truth = item % 2 per round).
+    fn round(offset_bias: usize) -> Vec<Annotation> {
+        let mut anns = Vec::new();
+        for item in 0..10 {
+            let truth = (item + offset_bias) % 2;
+            for w in 0..3 {
+                anns.push(ann(w, item, truth));
+            }
+            anns.push(ann(3, item, 1));
+        }
+        anns
+    }
+
+    #[test]
+    fn blacklists_persistently_bad_worker() {
+        let mut filter = WorkerFiltering::new(0.6, 10);
+        filter.aggregate(&round(0), 10, 2);
+        assert!(
+            filter.is_blacklisted(WorkerId(3)),
+            "worker 3 agrees only 50% of the time"
+        );
+        assert!(!filter.is_blacklisted(WorkerId(0)));
+    }
+
+    #[test]
+    fn new_workers_are_admitted_without_history() {
+        let filter = WorkerFiltering::paper_default();
+        assert!(!filter.is_blacklisted(WorkerId(99)));
+    }
+
+    #[test]
+    fn filtered_rounds_ignore_blacklisted_votes() {
+        let mut filter = WorkerFiltering::new(0.6, 10);
+        filter.aggregate(&round(0), 10, 2);
+        // New round where worker 3's vote would flip a 1-1 tie: items get one
+        // good vote (truth) and worker 3's constant 1.
+        let mut anns = Vec::new();
+        for item in 0..10 {
+            anns.push(ann(0, item, 0));
+            anns.push(ann(3, item, 1));
+        }
+        let estimates = filter.aggregate(&anns, 10, 2);
+        assert!(
+            estimates.iter().all(|e| e.label() == 0),
+            "blacklisted worker must not break ties"
+        );
+    }
+
+    #[test]
+    fn falls_back_to_all_votes_if_filter_silences_an_item() {
+        let mut filter = WorkerFiltering::new(0.99, 1);
+        // Worker 0 disagrees with consensus once -> blacklisted under the
+        // brutal threshold.
+        filter.aggregate(
+            &[ann(0, 0, 1), ann(1, 0, 0), ann(2, 0, 0)],
+            1,
+            2,
+        );
+        assert!(filter.is_blacklisted(WorkerId(0)));
+        // Now worker 0 is the only voter; the fallback must keep the item
+        // labeled rather than returning uniform.
+        let estimates = filter.aggregate(&[ann(0, 0, 1)], 1, 2);
+        assert_eq!(estimates[0].label(), 1);
+    }
+
+    #[test]
+    fn blacklisted_count_tracks_state() {
+        let mut filter = WorkerFiltering::new(0.6, 10);
+        assert_eq!(filter.blacklisted_count(), 0);
+        filter.aggregate(&round(0), 10, 2);
+        assert_eq!(filter.blacklisted_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in [0, 1]")]
+    fn rejects_bad_threshold() {
+        WorkerFiltering::new(1.5, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Crowd label-aggregation substrate.
+//!
+//! Section IV-C of the paper compares its CQC module against three existing
+//! quality-control techniques, all of which are implemented here:
+//!
+//! * [`MajorityVoting`] — the simple baseline ("suboptimal when workers have
+//!   different reliability"),
+//! * [`DawidSkeneEm`] — truth discovery via expectation-maximization over
+//!   latent worker confusion matrices (the paper's **TD-EM** baseline, after
+//!   Wang et al. IPSN'12 / Dawid & Skene 1979),
+//! * [`WorkerFiltering`] — history-based blacklisting of unreliable workers
+//!   ("may fail when workers are new to the platform"),
+//! * [`OneCoinEm`] — a lighter one-accuracy-per-worker EM that degrades
+//!   more gracefully than full Dawid-Skene on sparse worker histories.
+//!
+//! All aggregators implement the [`Aggregator`] trait and consume
+//! [`Annotation`] triples `(worker, item, label)`.
+//!
+//! # Example
+//!
+//! ```
+//! use crowdlearn_truth::{Aggregator, Annotation, MajorityVoting, WorkerId};
+//!
+//! let annotations = [
+//!     Annotation::new(WorkerId(0), 0, 2),
+//!     Annotation::new(WorkerId(1), 0, 2),
+//!     Annotation::new(WorkerId(2), 0, 1),
+//! ];
+//! let mut mv = MajorityVoting;
+//! let estimates = mv.aggregate(&annotations, 1, 3);
+//! assert_eq!(estimates[0].label(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dawid_skene;
+mod filtering;
+mod one_coin;
+mod voting;
+
+pub use dawid_skene::{DawidSkeneEm, DawidSkeneFit};
+pub use filtering::WorkerFiltering;
+pub use one_coin::OneCoinEm;
+pub use voting::MajorityVoting;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a crowd worker within the platform.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct WorkerId(pub u32);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker-{}", self.0)
+    }
+}
+
+/// One worker's label for one item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// Which worker produced the label.
+    pub worker: WorkerId,
+    /// Index of the annotated item (dense in `0..items`).
+    pub item: usize,
+    /// The class label assigned (dense in `0..classes`).
+    pub label: usize,
+}
+
+impl Annotation {
+    /// Creates an annotation triple.
+    pub fn new(worker: WorkerId, item: usize, label: usize) -> Self {
+        Self {
+            worker,
+            item,
+            label,
+        }
+    }
+}
+
+/// An aggregator's belief about one item's true label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelEstimate {
+    /// The item index.
+    pub item: usize,
+    /// Posterior probability per class (sums to 1).
+    pub distribution: Vec<f64>,
+}
+
+impl LabelEstimate {
+    /// The most probable class (ties break to the lowest index).
+    pub fn label(&self) -> usize {
+        self.distribution
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                if v > bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            })
+            .0
+    }
+
+    /// Confidence of the chosen label.
+    pub fn confidence(&self) -> f64 {
+        self.distribution.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A crowd label aggregator.
+///
+/// `aggregate` may be called repeatedly; stateful implementations (such as
+/// [`WorkerFiltering`]) accumulate worker history across calls, which mirrors
+/// how these schemes run over successive sensing cycles.
+pub trait Aggregator: Send {
+    /// Name for evaluation reports (Table I rows).
+    fn name(&self) -> &str;
+
+    /// Produces a label estimate for every item in `0..items`.
+    ///
+    /// Items with no annotations receive a uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if an annotation references an item `>= items`
+    /// or a label `>= classes`, or if `classes == 0`.
+    fn aggregate(
+        &mut self,
+        annotations: &[Annotation],
+        items: usize,
+        classes: usize,
+    ) -> Vec<LabelEstimate>;
+}
+
+pub(crate) fn validate_annotations(annotations: &[Annotation], items: usize, classes: usize) {
+    assert!(classes > 0, "need at least one class");
+    for a in annotations {
+        assert!(a.item < items, "annotation references item {} >= {items}", a.item);
+        assert!(
+            a.label < classes,
+            "annotation label {} >= {classes}",
+            a.label
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_estimate_breaks_ties_low() {
+        let e = LabelEstimate {
+            item: 0,
+            distribution: vec![0.4, 0.4, 0.2],
+        };
+        assert_eq!(e.label(), 0);
+        assert!((e.confidence() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2")]
+    fn validation_catches_bad_item() {
+        validate_annotations(&[Annotation::new(WorkerId(0), 5, 0)], 2, 3);
+    }
+
+    #[test]
+    fn worker_id_displays() {
+        assert_eq!(WorkerId(3).to_string(), "worker-3");
+    }
+}

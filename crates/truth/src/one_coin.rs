@@ -1,0 +1,262 @@
+//! One-coin EM ("weighted voting"): a lighter truth-discovery model than
+//! full Dawid-Skene, estimating a single accuracy parameter per worker.
+//!
+//! With only a handful of annotations per worker (the regime of a large
+//! anonymous platform), the full `K x K` confusion matrix of Dawid-Skene is
+//! badly under-determined; the one-coin model — worker `w` is correct with
+//! probability `p_w` and errs uniformly otherwise — needs `K^2 - K` fewer
+//! parameters per worker and degrades far more gracefully.
+
+use crate::{validate_annotations, Aggregator, Annotation, LabelEstimate, WorkerId};
+use std::collections::HashMap;
+
+/// One-coin EM truth discovery.
+///
+/// # Example
+///
+/// ```
+/// use crowdlearn_truth::{Aggregator, Annotation, OneCoinEm, WorkerId};
+///
+/// let mut annotations = Vec::new();
+/// for item in 0..30 {
+///     let truth = item % 3;
+///     for w in 0..3 {
+///         annotations.push(Annotation::new(WorkerId(w), item, truth));
+///     }
+///     annotations.push(Annotation::new(WorkerId(9), item, (truth + 1) % 3));
+/// }
+/// let estimates = OneCoinEm::default().aggregate(&annotations, 30, 3);
+/// assert!(estimates.iter().enumerate().all(|(i, e)| e.label() == i % 3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneCoinEm {
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the max posterior change.
+    pub tolerance: f64,
+    /// Beta-like smoothing on worker accuracy estimates.
+    pub smoothing: f64,
+}
+
+impl Default for OneCoinEm {
+    fn default() -> Self {
+        Self {
+            max_iterations: 20,
+            tolerance: 1e-6,
+            smoothing: 1.0,
+        }
+    }
+}
+
+impl OneCoinEm {
+    /// Runs EM, returning per-item estimates and the learned per-worker
+    /// accuracies.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Aggregator::aggregate`].
+    pub fn fit(
+        &self,
+        annotations: &[Annotation],
+        items: usize,
+        classes: usize,
+    ) -> (Vec<LabelEstimate>, HashMap<WorkerId, f64>) {
+        validate_annotations(annotations, items, classes);
+        let k = classes as f64;
+
+        let mut worker_index: HashMap<WorkerId, usize> = HashMap::new();
+        for a in annotations {
+            let next = worker_index.len();
+            worker_index.entry(a.worker).or_insert(next);
+        }
+        let n_workers = worker_index.len();
+
+        let mut per_item: Vec<Vec<(usize, usize)>> = vec![Vec::new(); items];
+        for a in annotations {
+            per_item[a.item].push((worker_index[&a.worker], a.label));
+        }
+
+        // Initialize posteriors from vote histograms.
+        let mut posteriors: Vec<Vec<f64>> = per_item
+            .iter()
+            .map(|anns| {
+                let mut dist = vec![1.0; classes];
+                for &(_, l) in anns {
+                    dist[l] += 1.0;
+                }
+                normalize(dist)
+            })
+            .collect();
+
+        let mut accuracies = vec![0.75f64; n_workers];
+        for _ in 0..self.max_iterations {
+            // M-step: worker accuracies from posterior agreement.
+            let mut agree = vec![self.smoothing * 0.75; n_workers];
+            let mut total = vec![self.smoothing; n_workers];
+            for (item, anns) in per_item.iter().enumerate() {
+                for &(w, l) in anns {
+                    agree[w] += posteriors[item][l];
+                    total[w] += 1.0;
+                }
+            }
+            for w in 0..n_workers {
+                accuracies[w] = (agree[w] / total[w]).clamp(1.0 / k + 1e-6, 1.0 - 1e-6);
+            }
+
+            // E-step: item posteriors under the one-coin likelihood.
+            let mut max_change = 0.0f64;
+            for (item, anns) in per_item.iter().enumerate() {
+                if anns.is_empty() {
+                    continue;
+                }
+                let mut log_post = vec![0.0f64; classes];
+                for &(w, l) in anns {
+                    let p = accuracies[w];
+                    for (class, lp) in log_post.iter_mut().enumerate() {
+                        *lp += if class == l {
+                            p.ln()
+                        } else {
+                            ((1.0 - p) / (k - 1.0)).ln()
+                        };
+                    }
+                }
+                let new_post = softmax(&log_post);
+                for (old, new) in posteriors[item].iter().zip(&new_post) {
+                    max_change = max_change.max((old - new).abs());
+                }
+                posteriors[item] = new_post;
+            }
+            if max_change < self.tolerance {
+                break;
+            }
+        }
+
+        let estimates = posteriors
+            .into_iter()
+            .enumerate()
+            .map(|(item, distribution)| LabelEstimate { item, distribution })
+            .collect();
+        let accuracy_map = worker_index
+            .into_iter()
+            .map(|(id, idx)| (id, accuracies[idx]))
+            .collect();
+        (estimates, accuracy_map)
+    }
+}
+
+impl Aggregator for OneCoinEm {
+    fn name(&self) -> &str {
+        "OneCoin-EM"
+    }
+
+    fn aggregate(
+        &mut self,
+        annotations: &[Annotation],
+        items: usize,
+        classes: usize,
+    ) -> Vec<LabelEstimate> {
+        self.fit(annotations, items, classes).0
+    }
+}
+
+fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        for x in &mut v {
+            *x /= sum;
+        }
+    } else {
+        let n = v.len() as f64;
+        v.fill(1.0 / n);
+    }
+    v
+}
+
+fn softmax(log_values: &[f64]) -> Vec<f64> {
+    let max = log_values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = log_values.iter().map(|v| (v - max).exp()).collect();
+    normalize(exps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MajorityVoting;
+
+    fn accuracy(estimates: &[LabelEstimate], truths: &[usize]) -> f64 {
+        estimates
+            .iter()
+            .zip(truths)
+            .filter(|(e, &t)| e.label() == t)
+            .count() as f64
+            / truths.len() as f64
+    }
+
+    /// 2 reliable + 3 spammy workers with *independent* noise.
+    fn sparse_noisy_instance(items: usize) -> (Vec<Annotation>, Vec<usize>) {
+        let truths: Vec<usize> = (0..items).map(|i| i % 3).collect();
+        let mut state = 0xfeed_beef_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut annotations = Vec::new();
+        for (item, &truth) in truths.iter().enumerate() {
+            for w in 0..2u32 {
+                annotations.push(Annotation::new(WorkerId(w), item, truth));
+            }
+            for w in 2..5u32 {
+                let label = if next() < 0.4 {
+                    truth
+                } else {
+                    (truth + 1 + (next() < 0.5) as usize) % 3
+                };
+                annotations.push(Annotation::new(WorkerId(w), item, label));
+            }
+        }
+        (annotations, truths)
+    }
+
+    #[test]
+    fn learns_worker_accuracies() {
+        let (annotations, _) = sparse_noisy_instance(120);
+        let (_, accuracies) = OneCoinEm::default().fit(&annotations, 120, 3);
+        assert!(accuracies[&WorkerId(0)] > 0.9);
+        assert!(accuracies[&WorkerId(1)] > 0.9);
+        for w in 2..5 {
+            assert!(
+                accuracies[&WorkerId(w)] < 0.7,
+                "worker {w} accuracy {}",
+                accuracies[&WorkerId(w)]
+            );
+        }
+    }
+
+    #[test]
+    fn beats_majority_voting_with_noisy_workers() {
+        let (annotations, truths) = sparse_noisy_instance(150);
+        let mv = MajorityVoting.aggregate(&annotations, 150, 3);
+        let oc = OneCoinEm::default().aggregate(&annotations, 150, 3);
+        let acc_mv = accuracy(&mv, &truths);
+        let acc_oc = accuracy(&oc, &truths);
+        assert!(acc_oc > acc_mv, "one-coin {acc_oc} vs voting {acc_mv}");
+        assert!(acc_oc > 0.95);
+    }
+
+    #[test]
+    fn handles_empty_and_unannotated_items() {
+        let estimates = OneCoinEm::default().aggregate(&[], 4, 3);
+        assert_eq!(estimates.len(), 4);
+        assert!(estimates.iter().all(|e| e.confidence() < 0.5));
+    }
+
+    #[test]
+    fn accuracies_are_bounded_away_from_degeneracy() {
+        let annotations = vec![Annotation::new(WorkerId(0), 0, 1)];
+        let (_, accuracies) = OneCoinEm::default().fit(&annotations, 1, 3);
+        let a = accuracies[&WorkerId(0)];
+        assert!(a > 1.0 / 3.0 && a < 1.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Majority voting — the `Voting` baseline of Table I.
+
+use crate::{validate_annotations, Aggregator, Annotation, LabelEstimate};
+
+/// Aggregates by plain vote counting: the estimate distribution is the
+/// normalized per-class vote histogram (uniform when an item has no votes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MajorityVoting;
+
+impl Aggregator for MajorityVoting {
+    fn name(&self) -> &str {
+        "Voting"
+    }
+
+    fn aggregate(
+        &mut self,
+        annotations: &[Annotation],
+        items: usize,
+        classes: usize,
+    ) -> Vec<LabelEstimate> {
+        validate_annotations(annotations, items, classes);
+        let mut counts = vec![vec![0usize; classes]; items];
+        for a in annotations {
+            counts[a.item][a.label] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(item, votes)| {
+                let total: usize = votes.iter().sum();
+                let distribution = if total == 0 {
+                    vec![1.0 / classes as f64; classes]
+                } else {
+                    votes.iter().map(|&v| v as f64 / total as f64).collect()
+                };
+                LabelEstimate { item, distribution }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkerId;
+
+    fn ann(w: u32, item: usize, label: usize) -> Annotation {
+        Annotation::new(WorkerId(w), item, label)
+    }
+
+    #[test]
+    fn majority_wins() {
+        let annotations = [ann(0, 0, 1), ann(1, 0, 1), ann(2, 0, 2)];
+        let estimates = MajorityVoting.aggregate(&annotations, 1, 3);
+        assert_eq!(estimates[0].label(), 1);
+        assert!((estimates[0].confidence() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unannotated_items_are_uniform() {
+        let estimates = MajorityVoting.aggregate(&[ann(0, 0, 0)], 2, 3);
+        assert_eq!(estimates.len(), 2);
+        for &p in &estimates[1].distribution {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ties_break_to_lower_class() {
+        let annotations = [ann(0, 0, 2), ann(1, 0, 0)];
+        let estimates = MajorityVoting.aggregate(&annotations, 1, 3);
+        assert_eq!(estimates[0].label(), 0);
+    }
+
+    #[test]
+    fn is_insensitive_to_worker_identity() {
+        // The same worker voting twice counts twice — voting has no notion
+        // of reliability, which is exactly its weakness.
+        let annotations = [ann(0, 0, 1), ann(0, 0, 1), ann(1, 0, 0)];
+        let estimates = MajorityVoting.aggregate(&annotations, 1, 2);
+        assert_eq!(estimates[0].label(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_all_uniform() {
+        let estimates = MajorityVoting.aggregate(&[], 3, 2);
+        assert_eq!(estimates.len(), 3);
+        assert!(estimates.iter().all(|e| (e.confidence() - 0.5).abs() < 1e-12));
+    }
+}

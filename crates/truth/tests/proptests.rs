@@ -1,0 +1,102 @@
+//! Property-based tests on the label-aggregation substrate.
+
+use crowdlearn_truth::{
+    Aggregator, Annotation, DawidSkeneEm, MajorityVoting, OneCoinEm, WorkerFiltering, WorkerId,
+};
+use proptest::prelude::*;
+
+fn arbitrary_annotations(
+    max_workers: u32,
+    items: usize,
+    classes: usize,
+) -> impl Strategy<Value = Vec<Annotation>> {
+    proptest::collection::vec(
+        (0..max_workers, 0..items, 0..classes),
+        0..(items * 6).max(1),
+    )
+    .prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(w, i, l)| Annotation::new(WorkerId(w), i, l))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every aggregator returns one normalized estimate per item, for any
+    /// annotation multiset — including empty input and unannotated items.
+    #[test]
+    fn estimates_are_always_normalized(
+        annotations in arbitrary_annotations(12, 8, 3),
+    ) {
+        let aggregators: Vec<Box<dyn Aggregator>> = vec![
+            Box::new(MajorityVoting),
+            Box::new(DawidSkeneEm::default()),
+            Box::new(OneCoinEm::default()),
+            Box::new(WorkerFiltering::paper_default()),
+        ];
+        for mut agg in aggregators {
+            let estimates = agg.aggregate(&annotations, 8, 3);
+            prop_assert_eq!(estimates.len(), 8);
+            for (i, e) in estimates.iter().enumerate() {
+                prop_assert_eq!(e.item, i);
+                prop_assert_eq!(e.distribution.len(), 3);
+                let sum: f64 = e.distribution.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "{}: sum {sum}", agg.name());
+                prop_assert!(e.distribution.iter().all(|p| (0.0..=1.0 + 1e-9).contains(p)));
+            }
+        }
+    }
+
+    /// With at least two unanimous voters per item every aggregator recovers
+    /// the labels. (A *single* voter can legitimately be overruled by a
+    /// Bayesian aggregator's learned class prior, so that case is excluded.)
+    #[test]
+    fn unanimity_is_always_respected(
+        labels in proptest::collection::vec(0usize..3, 1..10),
+        voters in 2u32..6,
+    ) {
+        let annotations: Vec<Annotation> = labels
+            .iter()
+            .enumerate()
+            .flat_map(|(item, &l)| {
+                (0..voters).map(move |w| Annotation::new(WorkerId(w), item, l))
+            })
+            .collect();
+        let aggregators: Vec<Box<dyn Aggregator>> = vec![
+            Box::new(MajorityVoting),
+            Box::new(DawidSkeneEm::default()),
+            Box::new(OneCoinEm::default()),
+            Box::new(WorkerFiltering::paper_default()),
+        ];
+        for mut agg in aggregators {
+            let estimates = agg.aggregate(&annotations, labels.len(), 3);
+            for (e, &l) in estimates.iter().zip(&labels) {
+                prop_assert_eq!(e.label(), l, "{} broke unanimity", agg.name());
+            }
+        }
+    }
+
+    /// Voting is invariant to annotation order.
+    #[test]
+    fn voting_is_order_invariant(
+        mut annotations in arbitrary_annotations(8, 5, 3),
+    ) {
+        let forward = MajorityVoting.aggregate(&annotations, 5, 3);
+        annotations.reverse();
+        let backward = MajorityVoting.aggregate(&annotations, 5, 3);
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Filtering never blacklists a worker without enough history.
+    #[test]
+    fn filtering_needs_history_before_blacklisting(
+        annotations in arbitrary_annotations(20, 6, 3),
+    ) {
+        let mut filtering = WorkerFiltering::new(0.99, 1_000);
+        let _ = filtering.aggregate(&annotations, 6, 3);
+        prop_assert_eq!(filtering.blacklisted_count(), 0);
+    }
+}

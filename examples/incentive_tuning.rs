@@ -1,0 +1,116 @@
+//! Incentive tuning: use the bandit substrate directly against the
+//! simulated crowdsourcing platform and compare incentive policies.
+//!
+//! ```text
+//! cargo run --release --example incentive_tuning
+//! ```
+//!
+//! This example drives the `crowdlearn-bandit` and `crowdlearn-crowd` crates
+//! without the rest of the system: it runs the paper's pilot study to show
+//! the platform's delay landscape, then pits UCB-ALP, ε-greedy, fixed and
+//! random policies against each other on the same budget and reports the
+//! mean response delay each achieves.
+
+use crowdlearn_bandit::{
+    BanditConfig, CostedBandit, EpsilonGreedy, Exp3, FixedPolicy, RandomPolicy,
+    ThompsonSampling, UcbAlp,
+};
+use crowdlearn_crowd::{IncentiveLevel, PilotConfig, PilotStudy, Platform, PlatformConfig};
+use crowdlearn_dataset::{Dataset, DatasetConfig, SyntheticImage, TemporalContext};
+
+const BUDGET_CENTS: f64 = 1000.0;
+const ROUNDS: u64 = 200;
+
+fn main() {
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let images: Vec<&SyntheticImage> = dataset.train().iter().take(60).collect();
+
+    // 1. Characterize the platform, as the paper's pilot study does.
+    let mut platform = Platform::new(PlatformConfig::paper().with_seed(7));
+    let pilot = PilotStudy::new(PilotConfig::paper()).run(&mut platform, &images);
+    println!("pilot delay surface (mean seconds per HIT):");
+    print!("{:<10}", "");
+    for level in IncentiveLevel::ALL {
+        print!("{:>7}", level.to_string());
+    }
+    println!();
+    for ctx in TemporalContext::ALL {
+        print!("{:<10}", ctx.to_string());
+        for level in IncentiveLevel::ALL {
+            print!("{:>7.0}", pilot.cell(ctx, level).mean_delay_secs());
+        }
+        println!();
+    }
+
+    // 2. Run the four policies on identical budgets.
+    println!();
+    println!(
+        "policy comparison: {ROUNDS} queries, {:.0} cent budget ({:.1}c per query)",
+        BUDGET_CENTS,
+        BUDGET_CENTS / ROUNDS as f64
+    );
+    let config = || {
+        BanditConfig::new(
+            TemporalContext::COUNT,
+            IncentiveLevel::costs(),
+            BUDGET_CENTS,
+            ROUNDS,
+        )
+        .with_context_distribution(vec![0.25; TemporalContext::COUNT])
+    };
+    let policies: Vec<Box<dyn CostedBandit>> = vec![
+        Box::new(UcbAlp::new(config(), 11)),
+        Box::new(ThompsonSampling::new(config(), 14)),
+        Box::new(Exp3::new(config(), 0.1, 15)),
+        Box::new(EpsilonGreedy::new(config(), 0.1, 12)),
+        Box::new(FixedPolicy::max_affordable(config())),
+        Box::new(RandomPolicy::new(config(), 13)),
+    ];
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "policy", "mean delay", "spent", "answered"
+    );
+    for mut policy in policies {
+        let mut platform = Platform::new(PlatformConfig::paper().with_seed(99));
+        // Warm up learning policies with pilot-style observations.
+        for pass in 0..8 {
+            for ctx in TemporalContext::ALL {
+                for level in IncentiveLevel::ALL {
+                    let img = images[(pass + level.index()) % images.len()];
+                    let r = platform.submit(img, level, ctx);
+                    let payoff = (1.0 - r.completion_delay_secs / 1800.0).clamp(0.0, 1.0);
+                    policy.observe(ctx.index(), level.index(), payoff);
+                }
+            }
+        }
+
+        let mut total_delay = 0.0;
+        let mut answered = 0u64;
+        let mut spent = 0.0;
+        for round in 0..ROUNDS {
+            let ctx = TemporalContext::from_index((round % 4) as usize);
+            let Some(action) = policy.select(ctx.index()) else {
+                continue;
+            };
+            let level = IncentiveLevel::from_index(action);
+            let img = images[round as usize % images.len()];
+            let r = platform.submit(img, level, ctx);
+            policy.observe(
+                ctx.index(),
+                action,
+                (1.0 - r.completion_delay_secs / 1800.0).clamp(0.0, 1.0),
+            );
+            total_delay += r.completion_delay_secs;
+            answered += 1;
+            spent += f64::from(level.cents());
+        }
+        println!(
+            "{:<16} {:>10.0} s {:>10.0} c {:>12}",
+            policy.name(),
+            total_delay / answered.max(1) as f64,
+            spent,
+            answered
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: boot the full CrowdLearn system and run one evaluation pass.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the smallest end-to-end use of the public API: generate the
+//! paper-shaped dataset, build the closed-loop system (committee + QSS +
+//! IPD + CQC + MIC over the simulated crowdsourcing platform), stream the
+//! 40 sensing cycles, and print the headline numbers.
+
+use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
+use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+
+fn main() {
+    // 1. The synthetic stand-in for the paper's 960 Ecuador-earthquake
+    //    images: 560 train / 400 test, balanced classes.
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    println!(
+        "dataset: {} images ({} train / {} test)",
+        dataset.len(),
+        dataset.train().len(),
+        dataset.test().len()
+    );
+
+    // 2. The evaluation stream: 40 sensing cycles of 10 images, rotating
+    //    through the four temporal contexts.
+    let stream = SensingCycleStream::paper(&dataset);
+
+    // 3. Boot CrowdLearn. This trains the committee on the training split,
+    //    fits the CQC boosting model on training-split crowd responses, and
+    //    warms up the incentive bandit — then runs the closed loop.
+    let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+    let report = system.run(&dataset, &stream);
+
+    println!();
+    println!("=== CrowdLearn evaluation ===");
+    println!("accuracy:        {:.3}", report.accuracy());
+    println!("macro F1:        {:.3}", report.macro_f1());
+    println!("macro AUC:       {:.3}", report.roc().auc());
+    println!(
+        "algorithm delay: {:.1} s per cycle",
+        report.mean_algorithm_delay_secs()
+    );
+    if let Some(crowd) = report.mean_crowd_delay_secs() {
+        println!("crowd delay:     {crowd:.1} s per cycle");
+    }
+    println!(
+        "crowd spend:     ${:.2} for {} queries",
+        report.spent_usd(),
+        report.queries_issued
+    );
+    println!(
+        "expert weights:  {:?} (VGG16 / BoVW / DDM)",
+        system
+            .committee_weights()
+            .iter()
+            .map(|w| (w * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,6 @@
+//! Integration-test and example host for the CrowdLearn reproduction workspace.
+//!
+//! The library target exists so `tests/` and `examples/` at the repository
+//! root can share the workspace dependency graph; all functionality lives in
+//! the `crates/` members.
+#![forbid(unsafe_code)]

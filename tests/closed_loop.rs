@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: the full closed loop reproduces the
+//! paper's headline orderings.
+
+use crowdlearn::baselines::{run_ai_only, HybridAl, HybridConfig, HybridPara};
+use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
+use crowdlearn_classifiers::{profiles, BoostedEnsemble, Classifier};
+use crowdlearn_dataset::{Dataset, DatasetConfig, LabeledImage, SensingCycleStream};
+
+fn fixture() -> (Dataset, SensingCycleStream) {
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let stream = SensingCycleStream::paper(&dataset);
+    (dataset, stream)
+}
+
+fn train_labels(dataset: &Dataset) -> Vec<LabeledImage> {
+    dataset
+        .train()
+        .iter()
+        .cloned()
+        .map(LabeledImage::ground_truth)
+        .collect()
+}
+
+#[test]
+fn table2_ordering_holds_end_to_end() {
+    let (dataset, stream) = fixture();
+    let train = train_labels(&dataset);
+
+    let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+    let crowdlearn = system.run(&dataset, &stream);
+
+    let mut vgg = profiles::vgg16(0);
+    vgg.retrain(&train);
+    let vgg_report = run_ai_only(&mut vgg, &dataset, &stream);
+
+    let mut bovw = profiles::bovw(0);
+    bovw.retrain(&train);
+    let bovw_report = run_ai_only(&mut bovw, &dataset, &stream);
+
+    let mut ddm = profiles::ddm(0);
+    ddm.retrain(&train);
+    let ddm_report = run_ai_only(&mut ddm, &dataset, &stream);
+
+    let mut ensemble = BoostedEnsemble::new(profiles::paper_committee(0));
+    ensemble.retrain(&train);
+    let ensemble_report = run_ai_only(&mut ensemble, &dataset, &stream);
+
+    // The paper's central ordering: CrowdLearn leads everything; the AI-only
+    // ladder is BoVW < VGG16 < DDM <= Ensemble.
+    assert!(
+        crowdlearn.accuracy() > ensemble_report.accuracy(),
+        "CrowdLearn {} must beat Ensemble {}",
+        crowdlearn.accuracy(),
+        ensemble_report.accuracy()
+    );
+    assert!(ensemble_report.accuracy() > vgg_report.accuracy());
+    assert!(ddm_report.accuracy() > vgg_report.accuracy());
+    assert!(vgg_report.accuracy() > bovw_report.accuracy());
+}
+
+#[test]
+fn crowdlearn_beats_both_hybrids_on_accuracy_and_delay() {
+    let (dataset, stream) = fixture();
+    let train = train_labels(&dataset);
+
+    let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+    let crowdlearn = system.run(&dataset, &stream);
+
+    let mut ensemble = BoostedEnsemble::new(profiles::paper_committee(0));
+    ensemble.retrain(&train);
+    let mut para = HybridPara::new(Box::new(ensemble), HybridConfig::paper());
+    let para_report = para.run(&dataset, &stream);
+
+    let mut ensemble2 = BoostedEnsemble::new(profiles::paper_committee(0));
+    ensemble2.retrain(&train);
+    let mut al = HybridAl::new(Box::new(ensemble2), HybridConfig::paper());
+    let al_report = al.run(&dataset, &stream);
+
+    assert!(crowdlearn.accuracy() > para_report.accuracy());
+    assert!(crowdlearn.accuracy() > al_report.accuracy());
+
+    // And the adaptive incentive policy must be faster than both fixed ones
+    // (Table III: ~35% reduction).
+    let cl_delay = crowdlearn.mean_crowd_delay_secs().expect("queries issued");
+    let para_delay = para_report.mean_crowd_delay_secs().expect("queries issued");
+    let al_delay = al_report.mean_crowd_delay_secs().expect("queries issued");
+    assert!(
+        cl_delay < 0.85 * para_delay,
+        "CrowdLearn delay {cl_delay} vs Hybrid-Para {para_delay}"
+    );
+    assert!(
+        cl_delay < 0.85 * al_delay,
+        "CrowdLearn delay {cl_delay} vs Hybrid-AL {al_delay}"
+    );
+}
+
+#[test]
+fn evaluation_spend_matches_report_and_budget() {
+    let (dataset, stream) = fixture();
+    let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+    let report = system.run(&dataset, &stream);
+    assert_eq!(u64::from(report.spent_cents > 0), 1);
+    assert_eq!(report.spent_cents, system.evaluation_spent_cents());
+    assert!(
+        report.spent_cents as f64 + system.remaining_budget_cents()
+            <= CrowdLearnConfig::paper().budget_cents + 1e-6
+    );
+}
+
+#[test]
+fn every_streamed_image_receives_exactly_one_final_label() {
+    let (dataset, stream) = fixture();
+    let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+    let mut seen = std::collections::HashSet::new();
+    for cycle in &stream {
+        let outcome = system.run_cycle(cycle, &dataset);
+        assert_eq!(outcome.images.len(), cycle.image_ids.len());
+        for img in &outcome.images {
+            assert!(seen.insert(img.image), "duplicate label for {}", img.image);
+            let probs = img.distribution.probs();
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+    assert_eq!(seen.len(), 400);
+}
+
+#[test]
+fn full_runs_are_reproducible() {
+    let (dataset, stream) = fixture();
+    let a = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper()).run(&dataset, &stream);
+    let b = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper()).run(&dataset, &stream);
+    assert_eq!(a.confusion, b.confusion);
+    assert_eq!(a.spent_cents, b.spent_cents);
+    assert_eq!(a.scores, b.scores);
+}

@@ -1,0 +1,163 @@
+//! Cross-crate property-based tests (proptest) over the public APIs.
+
+use crowdlearn_bandit::{BanditConfig, CostedBandit, EpsilonGreedy, FixedPolicy, RandomPolicy, UcbAlp};
+use crowdlearn_classifiers::ClassDistribution;
+use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig};
+use crowdlearn_metrics::{wilcoxon_signed_rank, ConfusionMatrix, RocCurve, SummaryStats};
+use crowdlearn_truth::{Aggregator, Annotation, DawidSkeneEm, MajorityVoting, WorkerId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn class_distributions_from_any_logits_are_normalized(
+        a in -50.0f64..50.0, b in -50.0f64..50.0, c in -50.0f64..50.0
+    ) {
+        let d = ClassDistribution::from_logits([a, b, c]);
+        let sum: f64 = d.probs().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(d.probs().iter().all(|p| (0.0..=1.0).contains(p)));
+        prop_assert!(d.entropy() >= -1e-12);
+        prop_assert!(d.entropy() <= (DamageLabel::COUNT as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn symmetric_kl_is_symmetric_and_nonnegative(
+        a in 0.01f64..10.0, b in 0.01f64..10.0, c in 0.01f64..10.0,
+        x in 0.01f64..10.0, y in 0.01f64..10.0, z in 0.01f64..10.0
+    ) {
+        let p = ClassDistribution::from_weights([a, b, c]);
+        let q = ClassDistribution::from_weights([x, y, z]);
+        let pq = p.symmetric_kl(&q);
+        let qp = q.symmetric_kl(&p);
+        prop_assert!(pq >= -1e-12);
+        prop_assert!((pq - qp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn committee_mixture_is_permutation_invariant(
+        w1 in 0.1f64..5.0, w2 in 0.1f64..5.0, w3 in 0.1f64..5.0,
+        l1 in -5.0f64..5.0, l2 in -5.0f64..5.0, l3 in -5.0f64..5.0
+    ) {
+        let d1 = ClassDistribution::from_logits([l1, l2, l3]);
+        let d2 = ClassDistribution::from_logits([l2, l3, l1]);
+        let d3 = ClassDistribution::from_logits([l3, l1, l2]);
+        let forward = ClassDistribution::weighted_mixture([(w1, &d1), (w2, &d2), (w3, &d3)]);
+        let backward = ClassDistribution::weighted_mixture([(w3, &d3), (w1, &d1), (w2, &d2)]);
+        for (a, b) in forward.probs().iter().zip(backward.probs()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy_is_bounded(
+        pairs in proptest::collection::vec((0usize..3, 0usize..3), 1..200)
+    ) {
+        let cm = ConfusionMatrix::from_pairs(3, pairs.iter().copied());
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+        prop_assert_eq!(cm.total(), pairs.len() as u64);
+    }
+
+    #[test]
+    fn roc_auc_is_bounded_and_curve_monotone(
+        scores in proptest::collection::vec(0.0f64..1.0, 4..100),
+        flip in proptest::collection::vec(any::<bool>(), 4..100)
+    ) {
+        let n = scores.len().min(flip.len());
+        let roc = RocCurve::from_binary_scores(&scores[..n], &flip[..n]);
+        prop_assert!((0.0..=1.0).contains(&roc.auc()));
+        let pts = roc.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+    }
+
+    #[test]
+    fn summary_stats_mean_within_min_max(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100)
+    ) {
+        let stats: SummaryStats = xs.iter().copied().collect();
+        let mean = stats.mean();
+        prop_assert!(mean >= stats.min().unwrap() - 1e-9);
+        prop_assert!(mean <= stats.max().unwrap() + 1e-9);
+        prop_assert!(stats.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn wilcoxon_p_value_is_a_probability(
+        xs in proptest::collection::vec(0.0f64..1.0, 5..40),
+        ys in proptest::collection::vec(0.0f64..1.0, 5..40)
+    ) {
+        let n = xs.len().min(ys.len());
+        let out = wilcoxon_signed_rank(&xs[..n], &ys[..n]);
+        prop_assert!((0.0..=1.0).contains(&out.p_value));
+        // Rank sums must total n_eff (n_eff + 1) / 2.
+        let ne = out.n_effective as f64;
+        prop_assert!((out.w_plus + out.w_minus - ne * (ne + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bandit_policies_never_overspend(
+        budget in 1.0f64..60.0,
+        seed in 0u64..1000,
+        rounds in 1u64..80
+    ) {
+        let mk = || BanditConfig::new(2, vec![1.0, 3.0, 7.0], budget, rounds);
+        let policies: Vec<Box<dyn CostedBandit>> = vec![
+            Box::new(UcbAlp::new(mk(), seed)),
+            Box::new(EpsilonGreedy::new(mk(), 0.2, seed)),
+            Box::new(FixedPolicy::max_affordable(mk())),
+            Box::new(RandomPolicy::new(mk(), seed)),
+        ];
+        for mut policy in policies {
+            let mut spent = 0.0;
+            for r in 0..rounds {
+                if let Some(a) = policy.select((r % 2) as usize) {
+                    spent += [1.0, 3.0, 7.0][a];
+                    policy.observe((r % 2) as usize, a, 0.5);
+                }
+            }
+            prop_assert!(spent <= budget + 1e-6, "{} overspent: {spent} > {budget}", policy.name());
+            prop_assert!((policy.remaining_budget() - (budget - spent)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn majority_voting_and_ds_produce_normalized_estimates(
+        labels in proptest::collection::vec((0u32..8, 0usize..6, 0usize..3), 1..120)
+    ) {
+        let annotations: Vec<Annotation> = labels
+            .iter()
+            .map(|&(w, item, label)| Annotation::new(WorkerId(w), item, label))
+            .collect();
+        for aggregator in [&mut MajorityVoting as &mut dyn Aggregator,
+                           &mut DawidSkeneEm::default() as &mut dyn Aggregator] {
+            let estimates = aggregator.aggregate(&annotations, 6, 3);
+            prop_assert_eq!(estimates.len(), 6);
+            for e in &estimates {
+                let sum: f64 = e.distribution.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6);
+                prop_assert!(e.label() < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_splits_are_always_disjoint_and_complete(
+        seed in 0u64..50,
+        total in 30usize..200
+    ) {
+        let train = total / 2;
+        let ds = Dataset::generate(
+            &DatasetConfig::paper().with_seed(seed).with_total(total).with_train_count(train),
+        );
+        prop_assert_eq!(ds.train().len() + ds.test().len(), ds.len());
+        let mut ids: Vec<u32> = ds.images().iter().map(|i| i.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), ds.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the quality-control pipeline: CQC against the
+//! aggregation baselines on live platform traffic, plus probabilistic
+//! quality of the distributions the schemes emit.
+
+use crowdlearn::{QualityController, QueryFeatures};
+use crowdlearn_crowd::{IncentiveLevel, Platform, PlatformConfig, QueryResponse};
+use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig, TemporalContext};
+use crowdlearn_metrics::{brier_score, mcnemar_test, CalibrationReport};
+use crowdlearn_truth::{Aggregator, Annotation, DawidSkeneEm, MajorityVoting, OneCoinEm};
+
+fn gather(
+    platform: &mut Platform,
+    images: &[crowdlearn_dataset::SyntheticImage],
+    repeat: usize,
+) -> Vec<(QueryResponse, DamageLabel)> {
+    (0..images.len() * repeat)
+        .map(|i| {
+            let img = &images[i % images.len()];
+            let ctx = TemporalContext::from_index(i % TemporalContext::COUNT);
+            (platform.submit(img, IncentiveLevel::C6, ctx), img.truth())
+        })
+        .collect()
+}
+
+#[test]
+fn cqc_beats_every_aggregation_baseline_significantly() {
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let mut platform = Platform::new(PlatformConfig::paper().with_seed(0x9a11));
+    let train = gather(&mut platform, dataset.train(), 2);
+    // Two passes over the test split (fresh worker draws each time) for
+    // enough discordant pairs to power the McNemar comparisons.
+    let eval = gather(&mut platform, dataset.test(), 2);
+
+    let mut cqc = QualityController::paper();
+    cqc.train(&train);
+    let cqc_correct: Vec<bool> = eval
+        .iter()
+        .map(|(resp, truth)| cqc.truthful_label(resp) == *truth)
+        .collect();
+
+    let annotations: Vec<Annotation> = eval
+        .iter()
+        .enumerate()
+        .flat_map(|(item, (resp, _))| {
+            resp.responses
+                .iter()
+                .map(move |r| Annotation::new(r.worker, item, r.label.index()))
+        })
+        .collect();
+    let truths: Vec<usize> = eval.iter().map(|(_, t)| t.index()).collect();
+
+    let baselines: Vec<Box<dyn Aggregator>> = vec![
+        Box::new(MajorityVoting),
+        Box::new(DawidSkeneEm::default()),
+        Box::new(OneCoinEm::default()),
+    ];
+    for mut baseline in baselines {
+        let estimates = baseline.aggregate(&annotations, eval.len(), DamageLabel::COUNT);
+        let baseline_correct: Vec<bool> = estimates
+            .iter()
+            .zip(&truths)
+            .map(|(e, &t)| e.label() == t)
+            .collect();
+        let out = mcnemar_test(&cqc_correct, &baseline_correct);
+        assert!(
+            out.a_only > out.b_only,
+            "CQC must win the discordant items vs {}: {out:?}",
+            baseline.name()
+        );
+        assert!(
+            out.significant(0.05),
+            "CQC's lead over {} must be significant: p = {}",
+            baseline.name(),
+            out.p_value
+        );
+    }
+}
+
+#[test]
+fn cqc_distributions_are_sharper_and_better_calibrated_than_voting() {
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let mut platform = Platform::new(PlatformConfig::paper().with_seed(0x9a22));
+    let train = gather(&mut platform, dataset.train(), 2);
+    let eval = gather(&mut platform, dataset.test(), 1);
+
+    let mut cqc = QualityController::paper();
+    cqc.train(&train);
+    let untrained = QualityController::paper(); // = majority voting fallback
+
+    let collect = |qc: &QualityController| -> (Vec<Vec<f64>>, Vec<usize>) {
+        let scores = eval
+            .iter()
+            .map(|(resp, _)| qc.infer(resp).probs().to_vec())
+            .collect();
+        let truths = eval.iter().map(|(_, t)| t.index()).collect();
+        (scores, truths)
+    };
+    let (cqc_scores, truths) = collect(&cqc);
+    let (vote_scores, _) = collect(&untrained);
+
+    let cqc_brier = brier_score(&cqc_scores, &truths);
+    let vote_brier = brier_score(&vote_scores, &truths);
+    assert!(
+        cqc_brier < vote_brier,
+        "CQC Brier {cqc_brier:.3} must beat voting {vote_brier:.3}"
+    );
+
+    let cqc_ece = CalibrationReport::from_scores(&cqc_scores, &truths, 10).ece();
+    assert!(cqc_ece < 0.15, "CQC must be reasonably calibrated: ECE {cqc_ece:.3}");
+}
+
+#[test]
+fn cqc_features_are_stable_across_identical_responses() {
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let mut platform = Platform::new(PlatformConfig::paper().with_seed(0x9a33));
+    let resp = platform.submit(
+        &dataset.test()[0],
+        IncentiveLevel::C8,
+        TemporalContext::Midnight,
+    );
+    assert_eq!(QueryFeatures::extract(&resp), QueryFeatures::extract(&resp));
+    assert_eq!(QueryFeatures::extract(&resp).len(), QueryFeatures::DIM);
+}
+
+#[test]
+fn repeated_queries_of_the_same_image_vary_but_agree_on_easy_truth() {
+    // Resubmitting an easy image yields different worker draws but the same
+    // aggregated answer — the redundancy CQC exploits.
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let easy = dataset
+        .test()
+        .iter()
+        .find(|i| {
+            i.attribute() == crowdlearn_dataset::ImageAttribute::Plain && !i.is_ambiguous()
+        })
+        .expect("plain image exists");
+    let mut platform = Platform::new(PlatformConfig::paper().with_seed(0x9a44));
+    let cqc = QualityController::paper(); // voting fallback is fine here
+    let mut labels = Vec::new();
+    for _ in 0..8 {
+        let resp = platform.submit(easy, IncentiveLevel::C6, TemporalContext::Evening);
+        labels.push(cqc.truthful_label(&resp));
+    }
+    let agreeing = labels.iter().filter(|&&l| l == easy.truth()).count();
+    assert!(agreeing >= 7, "easy image must aggregate stably: {labels:?}");
+}
