@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Offline CI gate for the CrowdLearn workspace. Mirrors the tier-1 verify
+# (build + test) and adds formatting and lint gates. Everything runs
+# against the vendored path dependencies — no network access required.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test -q --offline
+
+echo "CI green."

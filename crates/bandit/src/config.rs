@@ -144,6 +144,18 @@ pub trait CostedBandit: Send {
     /// payoff is NaN.
     fn observe(&mut self, context: usize, action: usize, payoff: f64);
 
+    /// Charges the cost of `action` to the budget without consulting the
+    /// policy, returning whether the charge succeeded. Callers that re-issue
+    /// an already-selected action (e.g. reposting a timed-out crowd task at
+    /// an escalated incentive) use this so the spend still comes out of the
+    /// same ledger [`CostedBandit::select`] draws from — the budget constraint
+    /// holds across every posting path, not just policy-chosen ones.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `action` is out of range.
+    fn charge(&mut self, action: usize) -> bool;
+
     /// Budget still available.
     fn remaining_budget(&self) -> f64;
 
@@ -232,6 +244,9 @@ mod tests {
         let mut ledger = BudgetLedger::new(0.3);
         assert!(ledger.try_charge(0.1));
         assert!(ledger.try_charge(0.1));
-        assert!(ledger.try_charge(0.1), "0.3 - 0.1 - 0.1 must still afford 0.1");
+        assert!(
+            ledger.try_charge(0.1),
+            "0.3 - 0.1 - 0.1 must still afford 0.1"
+        );
     }
 }

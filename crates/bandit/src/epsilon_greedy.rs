@@ -80,7 +80,11 @@ impl CostedBandit for EpsilonGreedy {
             .copied()
             .filter(|&a| self.config.cost(a) <= pace)
             .collect();
-        let pool = if paced.is_empty() { &affordable } else { &paced };
+        let pool = if paced.is_empty() {
+            &affordable
+        } else {
+            &paced
+        };
 
         let action = if self.rng.gen::<f64>() < self.epsilon {
             pool[self.rng.gen_range(0..pool.len())]
@@ -113,6 +117,10 @@ impl CostedBandit for EpsilonGreedy {
         *n += 1;
         let mean = &mut self.means[context][action];
         *mean += (payoff - *mean) / *n as f64;
+    }
+
+    fn charge(&mut self, action: usize) -> bool {
+        self.ledger.try_charge(self.config.cost(action))
     }
 
     fn remaining_budget(&self) -> f64 {

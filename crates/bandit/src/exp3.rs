@@ -136,6 +136,10 @@ impl CostedBandit for Exp3 {
         }
     }
 
+    fn charge(&mut self, action: usize) -> bool {
+        self.ledger.try_charge(self.config.cost(action))
+    }
+
     fn remaining_budget(&self) -> f64 {
         self.ledger.remaining()
     }

@@ -142,15 +142,12 @@ mod tests {
             Box::new(ThompsonSampling::new(mk(), 4)),
         ];
         for mut policy in policies {
-            let mut tracker = RegretTracker::new(
-                means.iter().map(|row| row.to_vec()).collect(),
-            );
+            let mut tracker = RegretTracker::new(means.iter().map(|row| row.to_vec()).collect());
             for round in 0..4000u64 {
                 let ctx = (round % 2) as usize;
                 let a = policy.select(ctx).expect("budget unlimited");
                 tracker.record(ctx, a);
-                let payoff =
-                    (means[ctx][a] + 0.1 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0);
+                let payoff = (means[ctx][a] + 0.1 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0);
                 policy.observe(ctx, a, payoff);
             }
             let early = tracker.trace()[..500].iter().sum::<f64>() / 500.0;

@@ -77,6 +77,10 @@ impl CostedBandit for FixedPolicy {
         assert!(!payoff.is_nan(), "payoff must not be NaN");
     }
 
+    fn charge(&mut self, action: usize) -> bool {
+        self.ledger.try_charge(self.config.cost(action))
+    }
+
     fn remaining_budget(&self) -> f64 {
         self.ledger.remaining()
     }
@@ -126,6 +130,10 @@ impl CostedBandit for RandomPolicy {
 
     fn observe(&mut self, _context: usize, _action: usize, payoff: f64) {
         assert!(!payoff.is_nan(), "payoff must not be NaN");
+    }
+
+    fn charge(&mut self, action: usize) -> bool {
+        self.ledger.try_charge(self.config.cost(action))
     }
 
     fn remaining_budget(&self) -> f64 {

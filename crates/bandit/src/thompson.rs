@@ -113,6 +113,10 @@ impl CostedBandit for ThompsonSampling {
         *mean += (payoff - *mean) / *n as f64;
     }
 
+    fn charge(&mut self, action: usize) -> bool {
+        self.ledger.try_charge(self.config.cost(action))
+    }
+
     fn remaining_budget(&self) -> f64 {
         self.ledger.remaining()
     }
@@ -136,8 +140,7 @@ mod tests {
             ts.observe(0, a, [0.3, 0.8, 0.5][a]);
             picks.push(a);
         }
-        let late_best =
-            picks.iter().skip(300).filter(|&&a| a == 1).count() as f64 / 200.0;
+        let late_best = picks.iter().skip(300).filter(|&&a| a == 1).count() as f64 / 200.0;
         assert!(late_best > 0.85, "best-arm rate {late_best}");
     }
 

@@ -125,13 +125,13 @@ impl UcbAlp {
         for z in 0..self.config.contexts() {
             let mut best = 0;
             let mut best_score = f64::NEG_INFINITY;
-            for a in 0..self.config.actions() {
+            for (a, &ucb) in ucbs[z].iter().enumerate() {
                 // Untried actions dominate regardless of lambda (forced
                 // exploration), but cap their score so cost-tiebreaks work.
-                let score = if ucbs[z][a].is_infinite() {
+                let score = if ucb.is_infinite() {
                     1e12 - lambda * self.config.cost(a)
                 } else {
-                    ucbs[z][a] - lambda * self.config.cost(a)
+                    ucb - lambda * self.config.cost(a)
                 };
                 if score > best_score {
                     best_score = score;
@@ -177,7 +177,9 @@ impl UcbAlp {
             .config
             .action_costs()
             .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &c| {
+                (lo.min(c), hi.max(c))
+            });
         let mut lo = 0.0;
         let mut hi = (2.0 * max_ucb + 1e12) / (cost_span.1 - cost_span.0).max(1e-9);
         let mut feasible = None;
@@ -222,7 +224,11 @@ impl CostedBandit for UcbAlp {
         self.rounds_elapsed += 1;
         self.context_counts[context] += 1;
 
-        let remaining_rounds = self.config.horizon().saturating_sub(self.rounds_elapsed - 1).max(1);
+        let remaining_rounds = self
+            .config
+            .horizon()
+            .saturating_sub(self.rounds_elapsed - 1)
+            .max(1);
         let rho = self.ledger.remaining() / remaining_rounds as f64;
         let (plan, boundary) = self.solve_alp(rho);
         let mut action = plan[context];
@@ -264,6 +270,10 @@ impl CostedBandit for UcbAlp {
         *n += 1;
         let mean = &mut self.means[context][action];
         *mean += (payoff - *mean) / *n as f64;
+    }
+
+    fn charge(&mut self, action: usize) -> bool {
+        self.ledger.try_charge(self.config.cost(action))
     }
 
     fn remaining_budget(&self) -> f64 {
@@ -325,7 +335,10 @@ mod tests {
             .filter(|(_, a)| *a == 2)
             .count() as f64
             / late.iter().filter(|(c, _)| *c == 0).count().max(1) as f64;
-        assert!(ctx0_best > 0.7, "context 0 should converge to action 2, rate {ctx0_best}");
+        assert!(
+            ctx0_best > 0.7,
+            "context 0 should converge to action 2, rate {ctx0_best}"
+        );
     }
 
     #[test]

@@ -19,7 +19,12 @@ fn dataset() -> Dataset {
 }
 
 fn trained_committee(ds: &Dataset) -> Committee {
-    let train: Vec<_> = ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+    let train: Vec<_> = ds
+        .train()
+        .iter()
+        .cloned()
+        .map(LabeledImage::ground_truth)
+        .collect();
     let members: Vec<Box<dyn Classifier>> = profiles::paper_committee(0)
         .into_iter()
         .map(|mut e| {
@@ -51,7 +56,11 @@ fn bench_dataset_generation(c: &mut Criterion) {
 fn bench_gbdt(c: &mut Criterion) {
     // CQC-shaped training problem: 400 rows x 11 features, 3 classes.
     let rows: Vec<Vec<f64>> = (0..400)
-        .map(|i| (0..11).map(|j| ((i * 31 + j * 7) % 100) as f64 / 100.0).collect())
+        .map(|i| {
+            (0..11)
+                .map(|j| ((i * 31 + j * 7) % 100) as f64 / 100.0)
+                .collect()
+        })
         .collect();
     let labels: Vec<usize> = (0..400).map(|i| i % 3).collect();
     let config = GbdtConfig::small();

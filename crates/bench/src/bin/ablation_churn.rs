@@ -29,7 +29,9 @@ fn main() {
     let mut cqc_series = Vec::new();
     for &churn in &[0.0, 0.2, 0.5, 1.0] {
         let mut platform = Platform::new(
-            PlatformConfig::paper().with_seed(0xc4u64).with_churn_rate(churn),
+            PlatformConfig::paper()
+                .with_seed(0xc4u64)
+                .with_churn_rate(churn),
         );
 
         // Train CQC on training-split responses under the same churn.

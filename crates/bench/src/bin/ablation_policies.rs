@@ -108,7 +108,11 @@ fn main() {
             mean_delay,
             spent
         );
-        results.push((policy.name().to_owned(), tracker.cumulative_regret(), mean_delay));
+        results.push((
+            policy.name().to_owned(),
+            tracker.cumulative_regret(),
+            mean_delay,
+        ));
     }
 
     println!();
@@ -117,9 +121,18 @@ fn main() {
          carries irreducible 'regret' from playing affordable arms. The comparison is \
          relative.)"
     );
-    let ucb = results.iter().find(|(n, _, _)| n == "UCB-ALP").expect("present");
-    let fixed = results.iter().find(|(n, _, _)| n == "fixed").expect("present");
-    let random = results.iter().find(|(n, _, _)| n == "random").expect("present");
+    let ucb = results
+        .iter()
+        .find(|(n, _, _)| n == "UCB-ALP")
+        .expect("present");
+    let fixed = results
+        .iter()
+        .find(|(n, _, _)| n == "fixed")
+        .expect("present");
+    let random = results
+        .iter()
+        .find(|(n, _, _)| n == "random")
+        .expect("present");
     println!(
         "Shape check: UCB-ALP delay {:.0} s beats fixed {:.0} s and random {:.0} s",
         ucb.2, fixed.2, random.2

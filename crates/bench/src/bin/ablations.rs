@@ -54,22 +54,28 @@ fn main() {
     let no_epsilon = run(CrowdLearnConfig::paper().with_epsilon(0.0));
     fmt("epsilon = 0 (pure entropy QSS)", &no_epsilon);
 
-    let no_offload = run(CrowdLearnConfig::paper().with_calibration(CalibratorConfig {
-        offload: false,
-        ..CalibratorConfig::paper()
-    }));
+    let no_offload = run(
+        CrowdLearnConfig::paper().with_calibration(CalibratorConfig {
+            offload: false,
+            ..CalibratorConfig::paper()
+        }),
+    );
     fmt("no crowd offloading", &no_offload);
 
-    let no_hedge = run(CrowdLearnConfig::paper().with_calibration(CalibratorConfig {
-        update_weights: false,
-        ..CalibratorConfig::paper()
-    }));
+    let no_hedge = run(
+        CrowdLearnConfig::paper().with_calibration(CalibratorConfig {
+            update_weights: false,
+            ..CalibratorConfig::paper()
+        }),
+    );
     fmt("no Hedge weight updates", &no_hedge);
 
-    let no_retrain = run(CrowdLearnConfig::paper().with_calibration(CalibratorConfig {
-        retrain: false,
-        ..CalibratorConfig::paper()
-    }));
+    let no_retrain = run(
+        CrowdLearnConfig::paper().with_calibration(CalibratorConfig {
+            retrain: false,
+            ..CalibratorConfig::paper()
+        }),
+    );
     fmt("no model retraining", &no_retrain);
 
     let eps_policy = run(CrowdLearnConfig::paper().with_policy(IncentivePolicyKind::EpsilonGreedy));
@@ -109,8 +115,10 @@ fn cqc_feature_ablation(fixture: &Fixture) {
     let train = gather(&mut platform, fixture.dataset.train());
     let test = gather(&mut platform, fixture.dataset.test());
 
-    let full_rows: Vec<Vec<f64>> =
-        train.iter().map(|(r, _)| QueryFeatures::extract(r)).collect();
+    let full_rows: Vec<Vec<f64>> = train
+        .iter()
+        .map(|(r, _)| QueryFeatures::extract(r))
+        .collect();
     let labels: Vec<usize> = train.iter().map(|(_, l)| l.index()).collect();
     // Labels-only: keep the vote fractions + entropy + top share, drop the
     // five questionnaire means.
@@ -121,10 +129,14 @@ fn cqc_feature_ablation(fixture: &Fixture) {
     };
     let stripped_rows: Vec<Vec<f64>> = full_rows.iter().map(|f| strip(f)).collect();
 
-    let config = GbdtConfig { rounds: 150, max_depth: 5, learning_rate: 0.12, ..GbdtConfig::small() };
+    let config = GbdtConfig {
+        rounds: 150,
+        max_depth: 5,
+        learning_rate: 0.12,
+        ..GbdtConfig::small()
+    };
     let full_model = GbdtClassifier::fit(&full_rows, &labels, DamageLabel::COUNT, &config);
-    let stripped_model =
-        GbdtClassifier::fit(&stripped_rows, &labels, DamageLabel::COUNT, &config);
+    let stripped_model = GbdtClassifier::fit(&stripped_rows, &labels, DamageLabel::COUNT, &config);
 
     let mut full_ok = 0usize;
     let mut stripped_ok = 0usize;

@@ -22,6 +22,11 @@ fn main() {
     }
     println!("{:<12} {:>8} {:>8}", "scheme", "mean", "std");
     for (name, stats) in names.iter().zip(&acc) {
-        println!("{:<12} {:>8.3} {:>8.3}", name, stats.mean(), stats.std_dev());
+        println!(
+            "{:<12} {:>8.3} {:>8.3}",
+            name,
+            stats.mean(),
+            stats.std_dev()
+        );
     }
 }

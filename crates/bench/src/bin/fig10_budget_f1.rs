@@ -3,6 +3,7 @@
 
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
 use crowdlearn_bench::{banner, Fixture};
+use crowdlearn_runtime::ParallelSweep;
 
 fn main() {
     banner(
@@ -13,21 +14,27 @@ fn main() {
     let fixture = Fixture::paper_default();
     let budgets_usd = [2.0, 4.0, 6.0, 8.0, 10.0, 20.0, 40.0];
 
-    println!("{:<10} {:>8} {:>10}", "budget", "F1", "accuracy");
-    let mut series = Vec::new();
-    for &usd in &budgets_usd {
+    // One independent seeded run per budget point, executed across the
+    // available cores; results land in input order with the serial numbers.
+    let rows = ParallelSweep::auto().run(&budgets_usd, |_, &usd| {
         let mut system = CrowdLearnSystem::new(
             &fixture.dataset,
             CrowdLearnConfig::paper().with_budget_cents(usd * 100.0),
         );
         let report = system.run(&fixture.dataset, &fixture.stream);
+        (report.macro_f1(), report.accuracy())
+    });
+
+    println!("{:<10} {:>8} {:>10}", "budget", "F1", "accuracy");
+    let mut series = Vec::new();
+    for (&usd, &(f1, accuracy)) in budgets_usd.iter().zip(&rows) {
         println!(
             "{:<10} {:>8.3} {:>10.3}",
             format!("${usd:.0}"),
-            report.macro_f1(),
-            report.accuracy()
+            f1,
+            accuracy
         );
-        series.push(report.macro_f1());
+        series.push(f1);
     }
 
     let low = series[0];

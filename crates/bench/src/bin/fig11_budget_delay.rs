@@ -3,6 +3,7 @@
 
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
 use crowdlearn_bench::{banner, Fixture};
+use crowdlearn_runtime::ParallelSweep;
 
 fn main() {
     banner(
@@ -13,17 +14,20 @@ fn main() {
     let fixture = Fixture::paper_default();
     let budgets_usd = [2.0, 4.0, 6.0, 8.0, 10.0, 20.0, 40.0];
 
-    println!("{:<10} {:>14}", "budget", "crowd delay(s)");
-    let mut series = Vec::new();
-    for &usd in &budgets_usd {
+    // One independent seeded run per budget point, executed across the
+    // available cores; results land in input order with the serial numbers.
+    let series = ParallelSweep::auto().run(&budgets_usd, |_, &usd| {
         let mut system = CrowdLearnSystem::new(
             &fixture.dataset,
             CrowdLearnConfig::paper().with_budget_cents(usd * 100.0),
         );
         let report = system.run(&fixture.dataset, &fixture.stream);
-        let delay = report.mean_crowd_delay_secs().unwrap_or(f64::NAN);
+        report.mean_crowd_delay_secs().unwrap_or(f64::NAN)
+    });
+
+    println!("{:<10} {:>14}", "budget", "crowd delay(s)");
+    for (&usd, &delay) in budgets_usd.iter().zip(&series) {
         println!("{:<10} {:>14.0}", format!("${usd:.0}"), delay);
-        series.push(delay);
     }
 
     let low_budget = series[0];

@@ -51,6 +51,9 @@ fn main() {
         morning_1c / morning_20c,
         100.0 * spread
     );
-    assert!(morning_1c > 3.0 * morning_20c, "morning must be incentive-sensitive");
+    assert!(
+        morning_1c > 3.0 * morning_20c,
+        "morning must be incentive-sensitive"
+    );
     assert!(spread < 0.2, "evening mid-range must be flat");
 }

@@ -41,7 +41,11 @@ fn main() {
         println!(
             "  {a} vs {b}: p = {:.3} (paper p = {paper_p:.2})  {}",
             out.p_value,
-            if out.significant(0.05) { "SIGNIFICANT" } else { "not significant" }
+            if out.significant(0.05) {
+                "SIGNIFICANT"
+            } else {
+                "not significant"
+            }
         );
     }
     println!();

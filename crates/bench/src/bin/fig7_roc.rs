@@ -12,7 +12,10 @@ fn main() {
     let fixture = Fixture::paper_default();
     let reports = fixture.run_all_schemes();
 
-    println!("{:<12} {:>7}   curve (TPR at FPR = 0.05/0.1/0.2/0.4)", "Scheme", "AUC");
+    println!(
+        "{:<12} {:>7}   curve (TPR at FPR = 0.05/0.1/0.2/0.4)",
+        "Scheme", "AUC"
+    );
     let mut aucs = Vec::new();
     for (report, name) in reports.iter().zip(paper_reference::SCHEMES.iter()) {
         let roc = report.roc();

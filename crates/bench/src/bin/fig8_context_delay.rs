@@ -29,7 +29,11 @@ fn main() {
             .iter()
             .map(|&c| report.mean_crowd_delay_in(c).unwrap_or(f64::NAN))
             .collect();
-        rows.push((name, per_ctx, report.mean_crowd_delay_secs().unwrap_or(f64::NAN)));
+        rows.push((
+            name,
+            per_ctx,
+            report.mean_crowd_delay_secs().unwrap_or(f64::NAN),
+        ));
     }
 
     println!(
@@ -51,7 +55,10 @@ fn main() {
         "Shape check: CCMB {ccmb:.0} s < fixed {fixed:.0} s and random {random:.0} s \
          (paper: 'IPD achieves the lowest delay with the least variations across contexts')"
     );
-    assert!(ccmb < fixed && ccmb < random, "shape violation: CCMB must be fastest");
+    assert!(
+        ccmb < fixed && ccmb < random,
+        "shape violation: CCMB must be fastest"
+    );
 
     // CCMB should also have the least cross-context spread.
     let spread = |per: &Vec<f64>| {

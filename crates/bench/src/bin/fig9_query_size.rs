@@ -5,6 +5,7 @@
 use crowdlearn::baselines::{run_ai_only, HybridAl, HybridConfig, HybridPara};
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
 use crowdlearn_bench::{banner, Fixture};
+use crowdlearn_runtime::ParallelSweep;
 
 fn main() {
     banner(
@@ -19,18 +20,16 @@ fn main() {
     let mut ensemble = fixture.trained_ensemble(0);
     let ensemble_f1 = run_ai_only(&mut ensemble, &fixture.dataset, &fixture.stream).macro_f1();
 
-    println!(
-        "{:<8} {:>12} {:>12} {:>12} {:>12}",
-        "queries", "CrowdLearn", "Hybrid-AL", "Hybrid-Para", "Ensemble"
-    );
-    let mut crowdlearn_series = Vec::new();
-    let mut al_series = Vec::new();
-    let mut para_series = Vec::new();
-    for &q in &fractions {
+    // Each sweep point is an independent seeded run over the shared
+    // (immutable) fixture, so the parallel sweep reproduces the serial
+    // loop's numbers exactly, in input order.
+    let rows = ParallelSweep::auto().run(&fractions, |_, &q| {
         let crowdlearn_f1 = if q == 0 {
             let mut system = CrowdLearnSystem::new(
                 &fixture.dataset,
-                CrowdLearnConfig::paper().with_queries_per_cycle(0).with_budget_cents(0.0),
+                CrowdLearnConfig::paper()
+                    .with_queries_per_cycle(0)
+                    .with_budget_cents(0.0),
             );
             system.run(&fixture.dataset, &fixture.stream).macro_f1()
         } else {
@@ -59,7 +58,17 @@ fn main() {
             let mut para = HybridPara::new(Box::new(fixture.trained_ensemble(0)), hybrid_config);
             para.run(&fixture.dataset, &fixture.stream).macro_f1()
         };
+        (crowdlearn_f1, al_f1, para_f1)
+    });
 
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "queries", "CrowdLearn", "Hybrid-AL", "Hybrid-Para", "Ensemble"
+    );
+    let mut crowdlearn_series = Vec::new();
+    let mut al_series = Vec::new();
+    let mut para_series = Vec::new();
+    for (&q, &(crowdlearn_f1, al_f1, para_f1)) in fractions.iter().zip(&rows) {
         println!(
             "{:<8} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
             format!("{}0%", q),
@@ -81,7 +90,10 @@ fn main() {
         "Shape check: CrowdLearn grows {growth:+.3} from 0% to 100%; \
          Hybrid-AL {al_growth:+.3} and Hybrid-Para {para_growth:+.3} stay comparatively flat"
     );
-    assert!(growth > 0.04, "CrowdLearn must improve substantially with queries");
+    assert!(
+        growth > 0.04,
+        "CrowdLearn must improve substantially with queries"
+    );
     assert!(
         growth > al_growth + 0.02 && growth > para_growth + 0.02,
         "shape violation: only CrowdLearn converts crowd labels into large gains"

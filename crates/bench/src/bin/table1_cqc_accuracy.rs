@@ -10,9 +10,7 @@ use crowdlearn::QualityController;
 use crowdlearn_bench::{banner, paper_reference, Fixture};
 use crowdlearn_crowd::{IncentiveLevel, Platform, PlatformConfig, QueryResponse};
 use crowdlearn_dataset::{DamageLabel, SyntheticImage, TemporalContext};
-use crowdlearn_truth::{
-    Aggregator, Annotation, DawidSkeneEm, MajorityVoting, WorkerFiltering,
-};
+use crowdlearn_truth::{Aggregator, Annotation, DawidSkeneEm, MajorityVoting, WorkerFiltering};
 
 const QUERIES_PER_CONTEXT: usize = 100;
 
@@ -43,8 +41,8 @@ fn main() {
     for ctx in TemporalContext::ALL {
         let mut batch = Vec::with_capacity(QUERIES_PER_CONTEXT);
         for q in 0..QUERIES_PER_CONTEXT {
-            let img = &fixture.dataset.test()[(q + ctx.index() * QUERIES_PER_CONTEXT)
-                % fixture.dataset.test().len()];
+            let img = &fixture.dataset.test()
+                [(q + ctx.index() * QUERIES_PER_CONTEXT) % fixture.dataset.test().len()];
             batch.push((img, platform.submit(img, IncentiveLevel::C6, ctx)));
         }
         responses.push(batch);
@@ -87,7 +85,9 @@ fn main() {
     };
 
     let voting_rows = accuracy_of("Voting", &|c| aggregate_with(&mut MajorityVoting, c));
-    let tdem_rows = accuracy_of("TD-EM", &|c| aggregate_with(&mut DawidSkeneEm::default(), c));
+    let tdem_rows = accuracy_of("TD-EM", &|c| {
+        aggregate_with(&mut DawidSkeneEm::default(), c)
+    });
     // Filtering needs worker history before it can blacklist anyone: give it
     // one ungraded pass over all four context batches (the live system would
     // have accumulated the same history during earlier cycles), then score.
@@ -96,9 +96,7 @@ fn main() {
         let _ = aggregate_with(&mut filtering, c);
     }
     let blacklisted = filtering.blacklisted_count();
-    let filtering_rows = accuracy_of("Filtering", &|c| {
-        aggregate_with(&mut filtering.clone(), c)
-    });
+    let filtering_rows = accuracy_of("Filtering", &|c| aggregate_with(&mut filtering.clone(), c));
 
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}   (paper overall)",
@@ -117,7 +115,10 @@ fn main() {
     println!("(Filtering blacklisted {blacklisted} workers from its history pass)");
 
     let cqc_overall = rows[0].2;
-    let best_other = rows[1..].iter().map(|r| r.2).fold(f64::NEG_INFINITY, f64::max);
+    let best_other = rows[1..]
+        .iter()
+        .map(|r| r.2)
+        .fold(f64::NEG_INFINITY, f64::max);
     println!();
     println!(
         "Shape check: CQC {:.3} vs best alternative {:.3} ({:+.2} points; paper reports +5.75)",

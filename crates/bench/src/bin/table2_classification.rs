@@ -26,7 +26,11 @@ fn main() {
             "{:<12} {:>22} {:>22} {:>22} {:>22}",
             name,
             format!("{:.3} (paper {:.3})", report.accuracy(), acc),
-            format!("{:.3} (paper {:.3})", report.confusion.macro_precision(), prec),
+            format!(
+                "{:.3} (paper {:.3})",
+                report.confusion.macro_precision(),
+                prec
+            ),
             format!("{:.3} (paper {:.3})", report.confusion.macro_recall(), rec),
             format!("{:.3} (paper {:.3})", report.macro_f1(), f1),
         );
@@ -46,7 +50,11 @@ fn main() {
             name,
             out.b_only,
             out.p_value,
-            if out.significant(0.05) { "(significant)" } else { "" }
+            if out.significant(0.05) {
+                "(significant)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -29,12 +29,18 @@ fn main() {
         println!(
             "{:<12} {:>26} {:>26}",
             name,
-            format!("{:.1} (paper {:.1})", report.mean_algorithm_delay_secs(), paper_alg),
+            format!(
+                "{:.1} (paper {:.1})",
+                report.mean_algorithm_delay_secs(),
+                paper_alg
+            ),
             crowd
         );
     }
 
-    let crowdlearn_delay = reports[0].mean_crowd_delay_secs().expect("CrowdLearn queries");
+    let crowdlearn_delay = reports[0]
+        .mean_crowd_delay_secs()
+        .expect("CrowdLearn queries");
     let para_delay = reports[5].mean_crowd_delay_secs().expect("Para queries");
     let al_delay = reports[6].mean_crowd_delay_secs().expect("AL queries");
     let fixed_mean = 0.5 * (para_delay + al_delay);

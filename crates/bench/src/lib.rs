@@ -62,7 +62,11 @@ impl Fixture {
     }
 
     /// A committee expert trained on the training split.
-    pub fn trained_expert(&self, builder: fn(u64) -> SimulatedExpert, seed: u64) -> SimulatedExpert {
+    pub fn trained_expert(
+        &self,
+        builder: fn(u64) -> SimulatedExpert,
+        seed: u64,
+    ) -> SimulatedExpert {
         let mut e = builder(seed);
         e.retrain(&self.train_labels());
         e
@@ -93,16 +97,11 @@ impl Fixture {
         let mut ensemble = self.trained_ensemble(seed);
         reports.push(run_ai_only(&mut ensemble, &self.dataset, &self.stream));
 
-        let mut para = HybridPara::new(
-            Box::new(self.trained_ensemble(seed)),
-            HybridConfig::paper(),
-        );
+        let mut para =
+            HybridPara::new(Box::new(self.trained_ensemble(seed)), HybridConfig::paper());
         reports.push(para.run(&self.dataset, &self.stream));
 
-        let mut al = HybridAl::new(
-            Box::new(self.trained_ensemble(seed)),
-            HybridConfig::paper(),
-        );
+        let mut al = HybridAl::new(Box::new(self.trained_ensemble(seed)), HybridConfig::paper());
         reports.push(al.run(&self.dataset, &self.stream));
 
         reports

@@ -112,8 +112,7 @@ impl Classifier for BoostedEnsemble {
     }
 
     fn predict(&self, image: &SyntheticImage) -> ClassDistribution {
-        let votes: Vec<ClassDistribution> =
-            self.members.iter().map(|m| m.predict(image)).collect();
+        let votes: Vec<ClassDistribution> = self.members.iter().map(|m| m.predict(image)).collect();
         ClassDistribution::weighted_mixture(self.alphas.iter().copied().zip(votes.iter()))
     }
 
@@ -145,7 +144,11 @@ impl Classifier for BoostedEnsemble {
     }
 
     fn training_samples(&self) -> usize {
-        self.members.iter().map(|m| m.training_samples()).max().unwrap_or(0)
+        self.members
+            .iter()
+            .map(|m| m.training_samples())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -158,8 +161,12 @@ mod tests {
 
     fn trained_ensemble(ds: &Dataset) -> BoostedEnsemble {
         let mut e = BoostedEnsemble::new(profiles::paper_committee(0));
-        let train: Vec<_> =
-            ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+        let train: Vec<_> = ds
+            .train()
+            .iter()
+            .cloned()
+            .map(LabeledImage::ground_truth)
+            .collect();
         e.retrain(&train);
         e
     }
@@ -199,15 +206,20 @@ mod tests {
         let alphas = ensemble.alphas();
         // Order of members: VGG16, BoVW, DDM — DDM strongest, BoVW weakest.
         assert!(alphas[2] > alphas[0], "DDM must outweigh VGG16: {alphas:?}");
-        assert!(alphas[0] > alphas[1], "VGG16 must outweigh BoVW: {alphas:?}");
+        assert!(
+            alphas[0] > alphas[1],
+            "VGG16 must outweigh BoVW: {alphas:?}"
+        );
     }
 
     #[test]
     fn delay_is_slowest_member_plus_overhead() {
         let ds = Dataset::generate(&DatasetConfig::paper());
         let ensemble = trained_ensemble(&ds);
-        let mean: f64 =
-            (0..40).map(|c| ensemble.execution_delay_secs(10, c)).sum::<f64>() / 40.0;
+        let mean: f64 = (0..40)
+            .map(|c| ensemble.execution_delay_secs(10, c))
+            .sum::<f64>()
+            / 40.0;
         // Paper Table III: 85.82 s per 10-image cycle.
         assert!((mean - 85.82).abs() / 85.82 < 0.1, "ensemble delay {mean}");
     }
@@ -222,9 +234,8 @@ mod tests {
     fn refit_on_empty_validation_panics() {
         let ds = Dataset::generate(&DatasetConfig::paper());
         let mut ensemble = trained_ensemble(&ds);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            ensemble.refit_weights(&[])
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ensemble.refit_weights(&[])));
         assert!(result.is_err());
     }
 }

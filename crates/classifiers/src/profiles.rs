@@ -87,8 +87,12 @@ mod tests {
     use crowdlearn_metrics::ConfusionMatrix;
 
     fn trained_accuracy(mut expert: SimulatedExpert, ds: &Dataset) -> f64 {
-        let train: Vec<_> =
-            ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+        let train: Vec<_> = ds
+            .train()
+            .iter()
+            .cloned()
+            .map(LabeledImage::ground_truth)
+            .collect();
         expert.retrain(&train);
         let mut cm = ConfusionMatrix::new(3);
         for img in ds.test() {
@@ -115,8 +119,10 @@ mod tests {
     fn expert_delays_match_table3() {
         let cases = [(vgg16(0), 47.83), (bovw(0), 37.55), (ddm(0), 52.57)];
         for (expert, paper_delay) in cases {
-            let mean: f64 =
-                (0..40).map(|c| expert.execution_delay_secs(10, c)).sum::<f64>() / 40.0;
+            let mean: f64 = (0..40)
+                .map(|c| expert.execution_delay_secs(10, c))
+                .sum::<f64>()
+                / 40.0;
             assert!(
                 (mean - paper_delay).abs() / paper_delay < 0.1,
                 "{}: measured {mean}, paper {paper_delay}",
@@ -139,8 +145,12 @@ mod tests {
         let committee: Vec<_> = paper_committee(0)
             .into_iter()
             .map(|mut e| {
-                let train: Vec<_> =
-                    ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+                let train: Vec<_> = ds
+                    .train()
+                    .iter()
+                    .cloned()
+                    .map(LabeledImage::ground_truth)
+                    .collect();
                 e.retrain(&train);
                 e
             })
@@ -149,8 +159,7 @@ mod tests {
             .test()
             .iter()
             .filter(|img| {
-                let labels: Vec<_> =
-                    committee.iter().map(|e| e.predict(img).argmax()).collect();
+                let labels: Vec<_> = committee.iter().map(|e| e.predict(img).argmax()).collect();
                 labels.windows(2).any(|w| w[0] != w[1])
             })
             .count();

@@ -7,9 +7,7 @@ use crate::SchemeReport;
 use crowdlearn_bandit::{BanditConfig, FixedPolicy};
 use crowdlearn_classifiers::{ClassDistribution, Classifier};
 use crowdlearn_crowd::{IncentiveLevel, Platform, PlatformConfig, QueryResponse};
-use crowdlearn_dataset::{
-    DamageLabel, Dataset, LabeledImage, SensingCycleStream,
-};
+use crowdlearn_dataset::{DamageLabel, Dataset, LabeledImage, SensingCycleStream};
 use crowdlearn_truth::{Aggregator, Annotation, MajorityVoting};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -43,8 +41,7 @@ pub fn run_ai_only(
             cycle: cycle.index,
             context: cycle.context,
             images: outcomes,
-            algorithm_delay_secs: classifier
-                .execution_delay_secs(images.len(), cycle.index as u64),
+            algorithm_delay_secs: classifier.execution_delay_secs(images.len(), cycle.index as u64),
             crowd_delay_secs: None,
             spent_cents: 0,
         };
@@ -173,8 +170,10 @@ impl HybridAl {
             let spent_before = self.platform.spent_cents();
 
             // Predict and rank by uncertainty.
-            let distributions: Vec<ClassDistribution> =
-                images.iter().map(|img| self.classifier.predict(img)).collect();
+            let distributions: Vec<ClassDistribution> = images
+                .iter()
+                .map(|img| self.classifier.predict(img))
+                .collect();
             let mut by_entropy: Vec<usize> = (0..images.len()).collect();
             by_entropy.sort_by(|&a, &b| {
                 distributions[b]
@@ -294,8 +293,10 @@ impl HybridPara {
             let images = cycle.images(dataset);
             let spent_before = self.platform.spent_cents();
 
-            let distributions: Vec<ClassDistribution> =
-                images.iter().map(|img| self.classifier.predict(img)).collect();
+            let distributions: Vec<ClassDistribution> = images
+                .iter()
+                .map(|img| self.classifier.predict(img))
+                .collect();
 
             // Humans label an independent random sample.
             let mut sample: Vec<usize> = (0..images.len()).collect();
@@ -377,7 +378,11 @@ mod tests {
         ddm.retrain(&train);
         let report = run_ai_only(&mut ddm, &dataset, &stream);
         assert_eq!(report.name, "DDM");
-        assert!((report.accuracy() - 0.807).abs() < 0.05, "{}", report.accuracy());
+        assert!(
+            (report.accuracy() - 0.807).abs() < 0.05,
+            "{}",
+            report.accuracy()
+        );
         assert!(report.mean_crowd_delay_secs().is_none());
         assert_eq!(report.spent_cents, 0);
     }
@@ -442,7 +447,9 @@ mod tests {
         ensemble.retrain(&train);
         let mut para = HybridPara::new(Box::new(ensemble), HybridConfig::paper());
         let report = para.run(&dataset, &stream);
-        let crowd = report.mean_crowd_delay_secs().expect("para queries the crowd");
+        let crowd = report
+            .mean_crowd_delay_secs()
+            .expect("para queries the crowd");
         assert!(crowd > report.mean_algorithm_delay_secs());
     }
 }

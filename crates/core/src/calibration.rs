@@ -142,7 +142,12 @@ mod tests {
     use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig};
 
     fn committee(ds: &Dataset) -> Committee {
-        let train: Vec<_> = ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+        let train: Vec<_> = ds
+            .train()
+            .iter()
+            .cloned()
+            .map(LabeledImage::ground_truth)
+            .collect();
         let members: Vec<Box<dyn Classifier>> = profiles::paper_committee(0)
             .into_iter()
             .map(|mut e| {
@@ -226,8 +231,10 @@ mod tests {
         let weights_before = committee.weights().to_vec();
         let vote_before = committee.committee_vote(&ds.test()[3]);
         let calibrator = Calibrator::new(CalibratorConfig::disabled());
-        let queried =
-            vec![(&ds.test()[0], ClassDistribution::delta(DamageLabel::NoDamage))];
+        let queried = vec![(
+            &ds.test()[0],
+            ClassDistribution::delta(DamageLabel::NoDamage),
+        )];
         let overrides = calibrator.calibrate(&mut committee, &queried);
         assert_eq!(overrides, vec![None]);
         assert_eq!(committee.weights(), &weights_before[..]);

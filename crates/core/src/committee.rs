@@ -112,7 +112,12 @@ mod tests {
     use crowdlearn_dataset::{Dataset, DatasetConfig};
 
     fn committee(ds: &Dataset) -> Committee {
-        let train: Vec<_> = ds.train().iter().cloned().map(LabeledImage::ground_truth).collect();
+        let train: Vec<_> = ds
+            .train()
+            .iter()
+            .cloned()
+            .map(LabeledImage::ground_truth)
+            .collect();
         let members: Vec<Box<dyn Classifier>> = profiles::paper_committee(0)
             .into_iter()
             .map(|mut e| {
@@ -152,11 +157,9 @@ mod tests {
             let imgs: Vec<_> = ds.test().iter().filter(|i| pred(i)).collect();
             imgs.iter().map(|i| c.entropy(i)).sum::<f64>() / imgs.len() as f64
         };
-        let lowres = mean_entropy(&|i| {
-            i.attribute() == crowdlearn_dataset::ImageAttribute::LowResolution
-        });
-        let plain =
-            mean_entropy(&|i| i.attribute() == crowdlearn_dataset::ImageAttribute::Plain);
+        let lowres =
+            mean_entropy(&|i| i.attribute() == crowdlearn_dataset::ImageAttribute::LowResolution);
+        let plain = mean_entropy(&|i| i.attribute() == crowdlearn_dataset::ImageAttribute::Plain);
         assert!(
             lowres > plain,
             "low-res entropy {lowres} must exceed plain entropy {plain}"
@@ -174,11 +177,9 @@ mod tests {
             let imgs: Vec<_> = ds.test().iter().filter(|i| pred(i)).collect();
             imgs.iter().map(|i| c.entropy(i)).sum::<f64>() / imgs.len() as f64
         };
-        let fake =
-            mean_entropy(&|i| i.attribute() == crowdlearn_dataset::ImageAttribute::Fake);
-        let lowres = mean_entropy(&|i| {
-            i.attribute() == crowdlearn_dataset::ImageAttribute::LowResolution
-        });
+        let fake = mean_entropy(&|i| i.attribute() == crowdlearn_dataset::ImageAttribute::Fake);
+        let lowres =
+            mean_entropy(&|i| i.attribute() == crowdlearn_dataset::ImageAttribute::LowResolution);
         assert!(
             fake < lowres,
             "fake entropy {fake} must look 'easy' vs low-res {lowres}"

@@ -117,7 +117,10 @@ impl QualityController {
     ///
     /// Panics if `examples` is empty or any response is empty.
     pub fn train(&mut self, examples: &[(QueryResponse, DamageLabel)]) {
-        assert!(!examples.is_empty(), "CQC needs at least one training example");
+        assert!(
+            !examples.is_empty(),
+            "CQC needs at least one training example"
+        );
         let rows: Vec<Vec<f64>> = examples
             .iter()
             .map(|(resp, _)| QueryFeatures::extract(resp))
@@ -184,11 +187,7 @@ mod tests {
     fn features_have_fixed_dimension() {
         let ds = Dataset::generate(&DatasetConfig::paper());
         let mut platform = Platform::new(PlatformConfig::paper().with_seed(31));
-        let resp = platform.submit(
-            &ds.test()[0],
-            IncentiveLevel::C4,
-            TemporalContext::Morning,
-        );
+        let resp = platform.submit(&ds.test()[0], IncentiveLevel::C4, TemporalContext::Morning);
         let f = QueryFeatures::extract(&resp);
         assert_eq!(f.len(), QueryFeatures::DIM);
         // Vote fractions sum to 1.
@@ -201,11 +200,7 @@ mod tests {
         let mut platform = Platform::new(PlatformConfig::paper().with_seed(32));
         let cqc = QualityController::paper();
         assert!(!cqc.is_trained());
-        let resp = platform.submit(
-            &ds.test()[1],
-            IncentiveLevel::C6,
-            TemporalContext::Evening,
-        );
+        let resp = platform.submit(&ds.test()[1], IncentiveLevel::C6, TemporalContext::Evening);
         let mut votes = [0usize; 3];
         for r in &resp.responses {
             votes[r.label.index()] += 1;
@@ -257,11 +252,7 @@ mod tests {
         let train_examples = gather(&mut platform, &ds.train()[..100]);
         let mut cqc = QualityController::paper();
         cqc.train(&train_examples);
-        let resp = platform.submit(
-            &ds.test()[5],
-            IncentiveLevel::C8,
-            TemporalContext::Midnight,
-        );
+        let resp = platform.submit(&ds.test()[5], IncentiveLevel::C8, TemporalContext::Midnight);
         assert_eq!(cqc.infer(&resp), cqc.infer(&resp));
     }
 

@@ -98,6 +98,14 @@ impl IncentivePolicy {
             .observe(context.index(), incentive.index(), payoff);
     }
 
+    /// Charges the cost of `incentive` to the bandit's budget without
+    /// consulting the policy: the forced-action path for reposting a
+    /// timed-out HIT at an escalated incentive. Returns `false` (charging
+    /// nothing) when the remaining budget cannot afford it.
+    pub fn try_charge(&mut self, incentive: IncentiveLevel) -> bool {
+        self.bandit.charge(incentive.index())
+    }
+
     /// Remaining budget in cents.
     pub fn remaining_budget_cents(&self) -> f64 {
         self.bandit.remaining_budget()
@@ -153,7 +161,10 @@ mod tests {
     fn fixed_policy_reports_its_level() {
         let bandit = FixedPolicy::new(config(100.0, 20), IncentiveLevel::C10.index());
         let mut ipd = IncentivePolicy::new(Box::new(bandit), PayoffNormalizer::paper());
-        assert_eq!(ipd.choose(TemporalContext::Evening), Some(IncentiveLevel::C10));
+        assert_eq!(
+            ipd.choose(TemporalContext::Evening),
+            Some(IncentiveLevel::C10)
+        );
         assert_eq!(ipd.policy_name(), "fixed");
     }
 

@@ -57,5 +57,5 @@ pub use cqc::{QualityController, QueryFeatures};
 pub use ipd::{IncentivePolicy, PayoffNormalizer};
 pub use qss::QuerySetSelector;
 pub use report::{CycleOutcome, SchemeReport};
+pub use system::{CrowdLearnConfig, CrowdLearnSystem, CycleWork, IncentivePolicyKind, PostedQuery};
 pub use trace::{CycleTrace, RunTrace};
-pub use system::{CrowdLearnConfig, CrowdLearnSystem, IncentivePolicyKind};

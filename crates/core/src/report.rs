@@ -86,7 +86,8 @@ impl SchemeReport {
     /// Folds one cycle's outcome into the report.
     pub fn record_cycle(&mut self, outcome: &CycleOutcome) {
         for img in &outcome.images {
-            self.confusion.record(img.truth.index(), img.predicted.index());
+            self.confusion
+                .record(img.truth.index(), img.predicted.index());
             self.scores.push(img.distribution.probs().to_vec());
             self.truths.push(img.truth.index());
             self.queries_issued += usize::from(img.queried);
@@ -179,7 +180,11 @@ mod tests {
 
     fn outcome(cycle: usize, context: TemporalContext, correct: bool) -> CycleOutcome {
         let truth = DamageLabel::Severe;
-        let predicted = if correct { truth } else { DamageLabel::NoDamage };
+        let predicted = if correct {
+            truth
+        } else {
+            DamageLabel::NoDamage
+        };
         CycleOutcome {
             cycle,
             context,

@@ -1,13 +1,15 @@
 //! The closed-loop CrowdLearn system (paper Figure 4).
 
+use crate::report::{CycleOutcome, ImageOutcome};
 use crate::{
     normalized_symmetric_kl, Calibrator, CalibratorConfig, Committee, IncentivePolicy,
     PayoffNormalizer, QualityController, QuerySetSelector, SchemeReport,
 };
-use crate::report::{CycleOutcome, ImageOutcome};
-use crowdlearn_bandit::{BanditConfig, CostedBandit, EpsilonGreedy, FixedPolicy, RandomPolicy, UcbAlp};
+use crowdlearn_bandit::{
+    BanditConfig, CostedBandit, EpsilonGreedy, FixedPolicy, RandomPolicy, UcbAlp,
+};
 use crowdlearn_classifiers::{profiles, ClassDistribution, Classifier};
-use crowdlearn_crowd::{IncentiveLevel, Platform, PlatformConfig};
+use crowdlearn_crowd::{IncentiveLevel, PendingHit, Platform, PlatformConfig, QueryResponse};
 use crowdlearn_dataset::{
     DamageLabel, Dataset, LabeledImage, SensingCycle, SensingCycleStream, TemporalContext,
 };
@@ -141,7 +143,10 @@ impl CrowdLearnConfig {
     }
 
     fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.epsilon), "epsilon must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&self.epsilon),
+            "epsilon must be in [0, 1]"
+        );
         assert!(self.hedge_eta > 0.0, "hedge eta must be positive");
         assert!(self.budget_cents >= 0.0, "budget must be non-negative");
         assert!(self.horizon_queries > 0, "horizon must be positive");
@@ -158,6 +163,82 @@ impl CrowdLearnConfig {
 impl Default for CrowdLearnConfig {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+/// A crowd query posted by [`CrowdLearnSystem::post_next_query`] (or
+/// reposted by [`CrowdLearnSystem::repost_query`]) whose answer has not yet
+/// been absorbed. The caller decides *when* the answer is observed: the
+/// blocking loop awaits it immediately, an event-driven runtime schedules it
+/// at `now + pending.completion_delay_secs()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostedQuery {
+    /// Index of the queried image within its sensing cycle.
+    pub image_index: usize,
+    /// The incentive paid.
+    pub incentive: IncentiveLevel,
+    /// The posted HIT, carrying the eventual worker responses and the
+    /// virtual delay until they are complete.
+    pub pending: PendingHit,
+}
+
+/// In-progress state of one sensing cycle, produced by
+/// [`CrowdLearnSystem::start_cycle`] and driven to a [`CycleOutcome`] by the
+/// reentrant stage methods. Multiple `CycleWork` values may be live at once
+/// (the pipelined runtime overlaps cycles); each one only touches shared
+/// module state (QSS/IPD/CQC/MIC) through the system methods it is passed
+/// to, so interleavings stay deterministic for a fixed event order.
+#[derive(Debug, Clone)]
+pub struct CycleWork {
+    cycle_index: usize,
+    context: TemporalContext,
+    member_votes: Vec<Vec<ClassDistribution>>,
+    picked: Vec<usize>,
+    next_pick: usize,
+    budget_exhausted: bool,
+    truthful: Vec<(usize, ClassDistribution)>,
+    in_time: Vec<bool>,
+    query_delays: Vec<f64>,
+    spent_cents: u64,
+    outstanding: usize,
+}
+
+impl CycleWork {
+    /// The sensing cycle this work belongs to.
+    pub fn cycle_index(&self) -> usize {
+        self.cycle_index
+    }
+
+    /// The cycle's temporal context.
+    pub fn context(&self) -> TemporalContext {
+        self.context
+    }
+
+    /// Queries posted but not yet absorbed.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Whether no further queries will be posted (query set exhausted or
+    /// budget denied) — reposts of outstanding queries may still happen.
+    pub fn posting_done(&self) -> bool {
+        self.budget_exhausted || self.next_pick >= self.picked.len()
+    }
+
+    /// Whether the cycle is ready for [`CrowdLearnSystem::finalize_cycle`]:
+    /// nothing left to post and every posted query absorbed.
+    pub fn is_drained(&self) -> bool {
+        self.posting_done() && self.outstanding == 0
+    }
+
+    /// Crowd answers absorbed so far.
+    pub fn answers_absorbed(&self) -> usize {
+        self.truthful.len()
+    }
+
+    /// Cents spent on this cycle's posts (including reposts) so far.
+    pub fn spent_cents(&self) -> u64 {
+        self.spent_cents
     }
 }
 
@@ -186,7 +267,10 @@ impl CrowdLearnSystem {
     /// split is empty.
     pub fn new(dataset: &Dataset, config: CrowdLearnConfig) -> Self {
         config.validate();
-        assert!(!dataset.train().is_empty(), "training split must be non-empty");
+        assert!(
+            !dataset.train().is_empty(),
+            "training split must be non-empty"
+        );
 
         let mut platform = Platform::new(PlatformConfig::paper().with_seed(config.platform_seed));
 
@@ -231,7 +315,10 @@ impl CrowdLearnSystem {
             config.budget_cents,
             config.horizon_queries,
         )
-        .with_context_distribution(vec![1.0 / TemporalContext::COUNT as f64; TemporalContext::COUNT]);
+        .with_context_distribution(vec![
+            1.0 / TemporalContext::COUNT as f64;
+            TemporalContext::COUNT
+        ]);
         let bandit: Box<dyn CostedBandit> = match config.policy {
             IncentivePolicyKind::UcbAlp => Box::new(UcbAlp::new(bandit_config, config.seed ^ 0xa1)),
             IncentivePolicyKind::EpsilonGreedy => {
@@ -289,11 +376,17 @@ impl CrowdLearnSystem {
         &self.config
     }
 
-    /// Runs one sensing cycle through the full QSS → IPD → crowd → CQC →
-    /// MIC loop and returns the cycle's outcome.
-    pub fn run_cycle(&mut self, cycle: &SensingCycle, dataset: &Dataset) -> CycleOutcome {
+    /// Starts a sensing cycle: computes (and caches) the committee's votes,
+    /// runs QSS over the vote entropies, and returns the [`CycleWork`] that
+    /// the other stage methods ([`CrowdLearnSystem::post_next_query`],
+    /// [`CrowdLearnSystem::absorb_answer`],
+    /// [`CrowdLearnSystem::finalize_cycle`]) drive to completion.
+    ///
+    /// The staged API exists so an event-driven runtime can interleave
+    /// several cycles' crowd waits; [`CrowdLearnSystem::run_cycle`] is the
+    /// blocking composition of the same four stages.
+    pub fn start_cycle(&mut self, cycle: &SensingCycle, dataset: &Dataset) -> CycleWork {
         let images = cycle.images(dataset);
-        let spent_before = self.platform.spent_cents();
 
         // Expert votes are computed once per cycle and cached: final labels
         // mix these cached votes under the *updated* weights (the paper uses
@@ -313,26 +406,161 @@ impl CrowdLearnSystem {
         // ① QSS selects the query set.
         let picked = self.qss.select(&entropies, self.config.queries_per_cycle);
 
-        // ② IPD incentivizes each query; ③ the crowd answers and CQC
-        //    distills truthful label distributions.
-        let mut truthful: Vec<(usize, ClassDistribution)> = Vec::with_capacity(picked.len());
-        let mut in_time = Vec::with_capacity(picked.len());
-        let mut query_delays = Vec::with_capacity(picked.len());
-        for &idx in &picked {
-            let Some(level) = self.ipd.choose(cycle.context) else {
-                break; // budget exhausted: remaining picks stay AI-labeled
-            };
-            let response = self.platform.submit(images[idx], level, cycle.context);
-            self.ipd
-                .report_delay(cycle.context, level, response.completion_delay_secs);
-            query_delays.push(response.completion_delay_secs);
-            in_time.push(
-                self.config
-                    .offload_deadline_secs
-                    .map_or(true, |d| response.completion_delay_secs <= d),
-            );
-            truthful.push((idx, self.cqc.infer(&response)));
+        CycleWork {
+            cycle_index: cycle.index,
+            context: cycle.context,
+            member_votes,
+            picked,
+            next_pick: 0,
+            budget_exhausted: false,
+            truthful: Vec::new(),
+            in_time: Vec::new(),
+            query_delays: Vec::new(),
+            spent_cents: 0,
+            outstanding: 0,
         }
+    }
+
+    /// ② Posts the cycle's next crowd query: IPD chooses an incentive
+    /// (charging the budget) and the platform posts the HIT. Returns `None`
+    /// when the query set is exhausted or the budget cannot afford another
+    /// query (remaining picks then stay AI-labeled, as in the paper).
+    pub fn post_next_query(
+        &mut self,
+        work: &mut CycleWork,
+        cycle: &SensingCycle,
+        dataset: &Dataset,
+    ) -> Option<PostedQuery> {
+        assert_eq!(work.cycle_index, cycle.index, "cycle/work mismatch");
+        if work.budget_exhausted || work.next_pick >= work.picked.len() {
+            return None;
+        }
+        let Some(level) = self.ipd.choose(work.context) else {
+            work.budget_exhausted = true;
+            return None;
+        };
+        let idx = work.picked[work.next_pick];
+        work.next_pick += 1;
+        let images = cycle.images(dataset);
+        let pending = self.platform.post(images[idx], level, work.context);
+        work.outstanding += 1;
+        work.spent_cents += u64::from(level.cents());
+        Some(PostedQuery {
+            image_index: idx,
+            incentive: level,
+            pending,
+        })
+    }
+
+    /// Reposts an already-posted query at a (typically escalated) incentive
+    /// after its HIT timed out. The cost is force-charged to the same IPD
+    /// budget that [`CrowdLearnSystem::post_next_query`] draws from; returns
+    /// `None` without posting when the budget cannot afford it. The original
+    /// attempt keeps its outstanding slot — exactly one answer per posted
+    /// query is eventually absorbed.
+    pub fn repost_query(
+        &mut self,
+        work: &mut CycleWork,
+        cycle: &SensingCycle,
+        dataset: &Dataset,
+        image_index: usize,
+        level: IncentiveLevel,
+    ) -> Option<PostedQuery> {
+        assert_eq!(work.cycle_index, cycle.index, "cycle/work mismatch");
+        assert!(work.outstanding > 0, "no outstanding query to repost");
+        if !self.ipd.try_charge(level) {
+            return None;
+        }
+        let images = cycle.images(dataset);
+        let pending = self.platform.post(images[image_index], level, work.context);
+        work.spent_cents += u64::from(level.cents());
+        Some(PostedQuery {
+            image_index,
+            incentive: level,
+            pending,
+        })
+    }
+
+    /// Whether a crowd answer arrived in time to *offload* (replace the AI
+    /// label of) its image, per `config.offload_deadline_secs`.
+    pub fn answer_is_timely(&self, response: &QueryResponse) -> bool {
+        self.config
+            .offload_deadline_secs
+            .is_none_or(|d| response.completion_delay_secs <= d)
+    }
+
+    /// ③ Absorbs one crowd answer: IPD learns the observed delay and CQC
+    /// distills the truthful label distribution. `timely` gates whether the
+    /// answer may offload its image at finalization — a late answer still
+    /// feeds weight updates and retraining (see
+    /// [`CrowdLearnConfig::offload_deadline_secs`]).
+    pub fn absorb_answer(
+        &mut self,
+        work: &mut CycleWork,
+        image_index: usize,
+        response: &QueryResponse,
+        timely: bool,
+    ) {
+        assert!(work.outstanding > 0, "no outstanding query to absorb");
+        work.outstanding -= 1;
+        self.ipd.report_delay(
+            work.context,
+            response.incentive,
+            response.completion_delay_secs,
+        );
+        work.query_delays.push(response.completion_delay_secs);
+        work.in_time.push(timely);
+        work.truthful.push((image_index, self.cqc.infer(response)));
+    }
+
+    /// Feeds a delay observation to IPD outside the absorb path — used by
+    /// the runtime to report a censored observation (delay = the timeout)
+    /// for a HIT that was abandoned and reposted.
+    pub fn observe_crowd_delay(
+        &mut self,
+        context: TemporalContext,
+        incentive: IncentiveLevel,
+        delay_secs: f64,
+    ) {
+        self.ipd.report_delay(context, incentive, delay_secs);
+    }
+
+    /// Expected algorithm delay of a cycle (committee inference + module
+    /// overhead) — what an event-driven runtime schedules `InferenceDone`
+    /// with. Matches the `algorithm_delay_secs` the finalized
+    /// [`CycleOutcome`] reports.
+    pub fn algorithm_delay_secs(&self, batch: usize, cycle_index: u64) -> f64 {
+        self.committee.execution_delay_secs(batch, cycle_index) + self.config.module_overhead_secs
+    }
+
+    /// ④ Finalizes a drained cycle: MIC updates the Hedge weights from the
+    /// Eq. 5 losses, final labels are assembled (crowd answers offloading
+    /// the timely-answered queries), and the committee retrains for the next
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if posted queries are still outstanding.
+    pub fn finalize_cycle(
+        &mut self,
+        work: CycleWork,
+        cycle: &SensingCycle,
+        dataset: &Dataset,
+    ) -> CycleOutcome {
+        assert_eq!(work.cycle_index, cycle.index, "cycle/work mismatch");
+        assert_eq!(
+            work.outstanding, 0,
+            "cannot finalize a cycle with outstanding queries"
+        );
+        let images = cycle.images(dataset);
+        let CycleWork {
+            member_votes,
+            truthful,
+            in_time,
+            query_delays,
+            spent_cents,
+            ..
+        } = work;
 
         // ④ MIC: Hedge weight update from the Eq. 5 losses.
         if self.calibrator.config().update_weights && !truthful.is_empty() {
@@ -406,8 +634,23 @@ impl CrowdLearnSystem {
             images: outcomes,
             algorithm_delay_secs,
             crowd_delay_secs,
-            spent_cents: self.platform.spent_cents() - spent_before,
+            spent_cents,
         }
+    }
+
+    /// Runs one sensing cycle through the full QSS → IPD → crowd → CQC →
+    /// MIC loop and returns the cycle's outcome.
+    ///
+    /// This is the blocking composition of the reentrant stages: each query
+    /// waits out its full crowd delay before the next is posted.
+    pub fn run_cycle(&mut self, cycle: &SensingCycle, dataset: &Dataset) -> CycleOutcome {
+        let mut work = self.start_cycle(cycle, dataset);
+        while let Some(posted) = self.post_next_query(&mut work, cycle, dataset) {
+            let response = posted.pending.into_response();
+            let timely = self.answer_is_timely(&response);
+            self.absorb_answer(&mut work, posted.image_index, &response, timely);
+        }
+        self.finalize_cycle(work, cycle, dataset)
     }
 
     /// Runs the full stream and accumulates a [`SchemeReport`].
@@ -559,9 +802,7 @@ mod tests {
 
     #[test]
     fn impossible_deadline_disables_offloading_but_not_learning() {
-        let strict = paper_run(
-            CrowdLearnConfig::paper().with_offload_deadline_secs(Some(1.0)),
-        );
+        let strict = paper_run(CrowdLearnConfig::paper().with_offload_deadline_secs(Some(1.0)));
         let relaxed = paper_run(CrowdLearnConfig::paper());
         // With a 1-second deadline no crowd answer is actionable, so the
         // output degrades toward committee-only accuracy...
@@ -573,9 +814,7 @@ mod tests {
 
     #[test]
     fn generous_deadline_changes_nothing() {
-        let generous = paper_run(
-            CrowdLearnConfig::paper().with_offload_deadline_secs(Some(1e9)),
-        );
+        let generous = paper_run(CrowdLearnConfig::paper().with_offload_deadline_secs(Some(1e9)));
         let unlimited = paper_run(CrowdLearnConfig::paper());
         assert_eq!(generous.confusion, unlimited.confusion);
     }

@@ -126,7 +126,10 @@ mod tests {
                 .collect();
             let max = mids.iter().copied().fold(0.0, f64::max);
             let min = mids.iter().copied().fold(f64::INFINITY, f64::min);
-            assert!((max - min) / min < 0.1, "{ctx} mid-range not flat: {mids:?}");
+            assert!(
+                (max - min) / min < 0.1,
+                "{ctx} mid-range not flat: {mids:?}"
+            );
             // But the extremes deviate.
             assert!(model.mean_secs(ctx, IncentiveLevel::C1) > 1.5 * max);
             assert!(model.mean_secs(ctx, IncentiveLevel::C20) < min);
@@ -150,9 +153,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 4000;
         let mean_hat: f64 = (0..n)
-            .map(|_| {
-                model.sample_secs(TemporalContext::Evening, IncentiveLevel::C4, 1.0, &mut rng)
-            })
+            .map(|_| model.sample_secs(TemporalContext::Evening, IncentiveLevel::C4, 1.0, &mut rng))
             .sum::<f64>()
             / n as f64;
         // Log-normal mean is base * exp(sigma^2 / 2).
@@ -167,11 +168,9 @@ mod tests {
     fn slow_workers_take_longer() {
         let model = DelayModel::paper();
         let mut rng = StdRng::seed_from_u64(3);
-        let fast =
-            model.sample_secs(TemporalContext::Morning, IncentiveLevel::C4, 0.5, &mut rng);
+        let fast = model.sample_secs(TemporalContext::Morning, IncentiveLevel::C4, 0.5, &mut rng);
         let mut rng = StdRng::seed_from_u64(3);
-        let slow =
-            model.sample_secs(TemporalContext::Morning, IncentiveLevel::C4, 2.0, &mut rng);
+        let slow = model.sample_secs(TemporalContext::Morning, IncentiveLevel::C4, 2.0, &mut rng);
         assert!(slow > fast);
         assert!((slow / fast - 4.0).abs() < 1e-9);
     }

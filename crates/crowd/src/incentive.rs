@@ -53,7 +53,10 @@ impl IncentiveLevel {
 
     /// Stable index in `0..COUNT` (cheapest = 0), the bandit action id.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|l| *l == self).expect("level enumerated")
+        Self::ALL
+            .iter()
+            .position(|l| *l == self)
+            .expect("level enumerated")
     }
 
     /// Inverse of [`IncentiveLevel::index`].
@@ -113,7 +116,10 @@ mod tests {
 
     #[test]
     fn costs_vector_matches() {
-        assert_eq!(IncentiveLevel::costs(), vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 20.0]);
+        assert_eq!(
+            IncentiveLevel::costs(),
+            vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 20.0]
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ mod worker;
 pub use delay::DelayModel;
 pub use incentive::IncentiveLevel;
 pub use pilot::{PilotCell, PilotConfig, PilotReport, PilotStudy};
-pub use platform::{Platform, PlatformConfig, PlatformStats, QueryResponse, WorkerResponse};
+pub use platform::{
+    PendingHit, Platform, PlatformConfig, PlatformStats, QueryResponse, WorkerResponse,
+};
 pub use quality::QualityModel;
 pub use questionnaire::QuestionnaireAnswers;
 pub use worker::{Worker, WorkerPool};

@@ -139,6 +139,73 @@ impl QueryResponse {
     }
 }
 
+/// A HIT that has been posted (and paid for) but whose answers have not yet
+/// been *observed* by the requester.
+///
+/// [`Platform::post`] draws the complete worker outcome — labels,
+/// questionnaires, and per-worker delays — at post time, exactly as
+/// [`Platform::submit`] does, so posting consumes the same RNG stream in the
+/// same order. What a `PendingHit` adds is the *temporal* view: an
+/// event-driven runtime can schedule the answer for virtual time
+/// `post_time + completion_delay_secs()` and, in the meantime, ask which
+/// worker responses would already be visible at any earlier deadline via
+/// [`PendingHit::responses_by`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingHit {
+    response: QueryResponse,
+    context: TemporalContext,
+}
+
+impl PendingHit {
+    /// The queried image.
+    pub fn image_id(&self) -> ImageId {
+        self.response.image_id
+    }
+
+    /// The incentive paid for this HIT.
+    pub fn incentive(&self) -> IncentiveLevel {
+        self.response.incentive
+    }
+
+    /// The temporal context the HIT was posted under.
+    pub fn context(&self) -> TemporalContext {
+        self.context
+    }
+
+    /// Seconds (from posting) until the last worker answers — when the
+    /// query becomes usable.
+    pub fn completion_delay_secs(&self) -> f64 {
+        self.response.completion_delay_secs
+    }
+
+    /// Whether every worker will have answered within `deadline_secs` of
+    /// posting.
+    pub fn is_complete_by(&self, deadline_secs: f64) -> bool {
+        self.response.completion_delay_secs <= deadline_secs
+    }
+
+    /// The worker responses that have arrived within `deadline_secs` of
+    /// posting (a partial view of an expired or still-running HIT).
+    pub fn responses_by(&self, deadline_secs: f64) -> Vec<&WorkerResponse> {
+        self.response
+            .responses
+            .iter()
+            .filter(|r| r.delay_secs <= deadline_secs)
+            .collect()
+    }
+
+    /// Borrows the full (eventual) response.
+    pub fn response(&self) -> &QueryResponse {
+        &self.response
+    }
+
+    /// Consumes the HIT, waiting out the full completion delay — the
+    /// blocking view [`Platform::submit`] returns.
+    pub fn into_response(self) -> QueryResponse {
+        self.response
+    }
+}
+
 /// Per-context / per-incentive accounting of a platform's query traffic —
 /// the receipt the requester can audit its spending with.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -261,14 +328,32 @@ impl Platform {
         &self.stats
     }
 
-    /// Submits one image query at `incentive` under `context`; returns all
-    /// worker responses. Charges `incentive.cents()` to the ledger.
+    /// Submits one image query at `incentive` under `context` and blocks
+    /// until every worker has answered; returns all worker responses.
+    /// Charges `incentive.cents()` to the ledger. Equivalent to
+    /// [`Platform::post`] followed by [`PendingHit::into_response`].
     pub fn submit(
         &mut self,
         image: &SyntheticImage,
         incentive: IncentiveLevel,
         context: TemporalContext,
     ) -> QueryResponse {
+        self.post(image, incentive, context).into_response()
+    }
+
+    /// Posts one image query at `incentive` under `context` *without*
+    /// waiting for the answers: the returned [`PendingHit`] carries the full
+    /// worker outcome plus the virtual delay after which it becomes
+    /// observable. Charges `incentive.cents()` to the ledger immediately
+    /// (HITs are paid on posting) and consumes exactly the same RNG draws as
+    /// [`Platform::submit`], so a posted-then-awaited query is
+    /// byte-identical to a blocking one.
+    pub fn post(
+        &mut self,
+        image: &SyntheticImage,
+        incentive: IncentiveLevel,
+        context: TemporalContext,
+    ) -> PendingHit {
         self.spent_cents += u64::from(incentive.cents());
         self.queries_served += 1;
         self.stats.record(context, incentive);
@@ -295,12 +380,10 @@ impl Platform {
         let mut responses = Vec::with_capacity(traits.len());
         let mut completion = 0.0f64;
         for (id, reliability, speed) in traits {
-            let delay = self.config.delay_model.sample_secs(
-                context,
-                incentive,
-                speed,
-                &mut self.rng,
-            );
+            let delay =
+                self.config
+                    .delay_model
+                    .sample_secs(context, incentive, speed, &mut self.rng);
             completion = completion.max(delay);
 
             let p_correct =
@@ -317,11 +400,14 @@ impl Platform {
             });
         }
 
-        QueryResponse {
-            image_id: image.id(),
-            incentive,
-            responses,
-            completion_delay_secs: completion,
+        PendingHit {
+            response: QueryResponse {
+                image_id: image.id(),
+                incentive,
+                responses,
+                completion_delay_secs: completion,
+            },
+            context,
         }
     }
 
@@ -642,6 +728,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "workers per query")]
     fn rejects_oversized_query_fanout() {
-        Platform::new(PlatformConfig::paper().with_pool_size(3).with_workers_per_query(5));
+        Platform::new(
+            PlatformConfig::paper()
+                .with_pool_size(3)
+                .with_workers_per_query(5),
+        );
     }
 }

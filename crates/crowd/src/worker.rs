@@ -164,12 +164,7 @@ impl WorkerPool {
     /// # Panics
     ///
     /// Panics if `count > self.len()`.
-    pub fn sample(
-        &self,
-        count: usize,
-        context: TemporalContext,
-        rng: &mut StdRng,
-    ) -> Vec<&Worker> {
+    pub fn sample(&self, count: usize, context: TemporalContext, rng: &mut StdRng) -> Vec<&Worker> {
         assert!(count <= self.workers.len(), "not enough workers to sample");
         let mut available: Vec<usize> = (0..self.workers.len()).collect();
         let mut picked = Vec::with_capacity(count);
@@ -217,7 +212,11 @@ mod tests {
         let pool = WorkerPool::generate(500, 1);
         let mean = pool.mean_reliability();
         assert!((mean - 0.90).abs() < 0.03, "mean reliability {mean}");
-        let spammers = pool.workers().iter().filter(|w| w.reliability() < 0.5).count();
+        let spammers = pool
+            .workers()
+            .iter()
+            .filter(|w| w.reliability() < 0.5)
+            .count();
         let rate = spammers as f64 / pool.len() as f64;
         assert!((rate - 0.08).abs() < 0.04, "spammer rate {rate}");
     }

@@ -5,7 +5,12 @@ use crowdlearn_dataset::{Dataset, DatasetConfig, TemporalContext};
 use proptest::prelude::*;
 
 fn small_dataset(seed: u64) -> Dataset {
-    Dataset::generate(&DatasetConfig::paper().with_total(60).with_train_count(30).with_seed(seed))
+    Dataset::generate(
+        &DatasetConfig::paper()
+            .with_total(60)
+            .with_train_count(30)
+            .with_seed(seed),
+    )
 }
 
 proptest! {

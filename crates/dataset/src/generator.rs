@@ -244,7 +244,10 @@ impl DatasetConfig {
             rates.iter().sum::<f64>() <= 1.0,
             "attribute rates must sum to at most 1"
         );
-        assert!(self.noise >= 0.0 && self.signal > 0.0, "invalid evidence scales");
+        assert!(
+            self.noise >= 0.0 && self.signal > 0.0,
+            "invalid evidence scales"
+        );
         assert!(
             (0.0..=1.0).contains(&self.context_fidelity),
             "context fidelity must be in [0, 1]"
@@ -339,7 +342,7 @@ impl Dataset {
             for class in &mut by_class {
                 class.shuffle(&mut rng);
             }
-            let mut cursors = vec![0usize; DamageLabel::COUNT];
+            let mut cursors = [0usize; DamageLabel::COUNT];
             while order.len() < config.total {
                 for (c, class) in by_class.iter().enumerate() {
                     if cursors[c] < class.len() {
@@ -500,13 +503,13 @@ fn generate_image(
 
     // Contextual evidence: class context scores then attribute cues.
     let mut contextual = vec![0.0f64; SyntheticImage::CONTEXTUAL_DIM];
-    for class in 0..DamageLabel::COUNT {
+    for (class, slot) in contextual.iter_mut().enumerate().take(DamageLabel::COUNT) {
         let mean = if class == truth.index() {
             config.context_fidelity
         } else {
             (1.0 - config.context_fidelity) / (DamageLabel::COUNT - 1) as f64
         };
-        contextual[class] = (mean + gaussian(rng) * config.context_noise).clamp(0.0, 1.0);
+        *slot = (mean + gaussian(rng) * config.context_noise).clamp(0.0, 1.0);
     }
     for (slot, attr) in ImageAttribute::ALL.iter().enumerate() {
         let mean = if *attr == attribute {
@@ -518,7 +521,15 @@ fn generate_image(
             (mean + gaussian(rng) * config.context_noise).clamp(0.0, 1.0);
     }
 
-    SyntheticImage::from_latents(id, truth, attribute, visual_label, ambiguous, visual, contextual)
+    SyntheticImage::from_latents(
+        id,
+        truth,
+        attribute,
+        visual_label,
+        ambiguous,
+        visual,
+        contextual,
+    )
 }
 
 /// Standard normal sample via Box-Muller (keeps the workspace independent of
@@ -572,13 +583,22 @@ mod tests {
         let counts = ds.attribute_counts();
         let cfg = ds.config();
         let get = |a: ImageAttribute| counts.iter().find(|(x, _)| *x == a).unwrap().1;
-        assert_eq!(get(ImageAttribute::Fake), (cfg.fake_rate() * 960.0).round() as usize);
-        assert_eq!(get(ImageAttribute::CloseUp), (cfg.close_up_rate() * 960.0).round() as usize);
+        assert_eq!(
+            get(ImageAttribute::Fake),
+            (cfg.fake_rate() * 960.0).round() as usize
+        );
+        assert_eq!(
+            get(ImageAttribute::CloseUp),
+            (cfg.close_up_rate() * 960.0).round() as usize
+        );
         assert_eq!(
             get(ImageAttribute::LowResolution),
             (cfg.low_resolution_rate() * 960.0).round() as usize
         );
-        assert_eq!(get(ImageAttribute::Implicit), (cfg.implicit_rate() * 960.0).round() as usize);
+        assert_eq!(
+            get(ImageAttribute::Implicit),
+            (cfg.implicit_rate() * 960.0).round() as usize
+        );
     }
 
     #[test]
@@ -631,7 +651,8 @@ mod tests {
             let mut own = 0.0;
             for family in 0..FAMILIES {
                 for k in 0..BLOCK {
-                    own += img.visual_evidence()[family * DamageLabel::COUNT * BLOCK + t * BLOCK + k];
+                    own +=
+                        img.visual_evidence()[family * DamageLabel::COUNT * BLOCK + t * BLOCK + k];
                 }
             }
             per_class_signal[t] += own / (FAMILIES * BLOCK) as f64;
@@ -668,8 +689,14 @@ mod tests {
             }
         }
         let n = ds.len() as f64;
-        assert!(correct_class as f64 / n > 0.95, "context must identify truth");
-        assert!(correct_attr as f64 / n > 0.95, "context must identify attribute");
+        assert!(
+            correct_class as f64 / n > 0.95,
+            "context must identify truth"
+        );
+        assert!(
+            correct_attr as f64 / n > 0.95,
+            "context must identify attribute"
+        );
     }
 
     #[test]
@@ -681,7 +708,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to at most 1")]
     fn rejects_excessive_rates() {
-        Dataset::generate(&DatasetConfig::paper().with_fake_rate(0.9).with_implicit_rate(0.2));
+        Dataset::generate(
+            &DatasetConfig::paper()
+                .with_fake_rate(0.9)
+                .with_implicit_rate(0.2),
+        );
     }
 
     #[test]
@@ -696,7 +727,10 @@ mod tests {
                 .map(|img| {
                     let t = img.truth().index();
                     (0..BLOCK)
-                        .map(|k| img.visual_evidence()[family * DamageLabel::COUNT * BLOCK + t * BLOCK + k])
+                        .map(|k| {
+                            img.visual_evidence()
+                                [family * DamageLabel::COUNT * BLOCK + t * BLOCK + k]
+                        })
                         .sum::<f64>()
                         / BLOCK as f64
                 })

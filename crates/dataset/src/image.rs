@@ -218,7 +218,11 @@ impl LabeledImage {
 mod tests {
     use super::*;
 
-    fn sample_image(attribute: ImageAttribute, truth: DamageLabel, visual: DamageLabel) -> SyntheticImage {
+    fn sample_image(
+        attribute: ImageAttribute,
+        truth: DamageLabel,
+        visual: DamageLabel,
+    ) -> SyntheticImage {
         SyntheticImage::from_latents(
             ImageId(1),
             truth,
@@ -242,10 +246,17 @@ mod tests {
 
     #[test]
     fn misleads_ai_iff_visual_differs_from_truth() {
-        let fake = sample_image(ImageAttribute::Fake, DamageLabel::NoDamage, DamageLabel::Severe);
+        let fake = sample_image(
+            ImageAttribute::Fake,
+            DamageLabel::NoDamage,
+            DamageLabel::Severe,
+        );
         assert!(fake.misleads_ai());
-        let plain =
-            sample_image(ImageAttribute::Plain, DamageLabel::Moderate, DamageLabel::Moderate);
+        let plain = sample_image(
+            ImageAttribute::Plain,
+            DamageLabel::Moderate,
+            DamageLabel::Moderate,
+        );
         assert!(!plain.misleads_ai());
     }
 
@@ -279,7 +290,11 @@ mod tests {
 
     #[test]
     fn labeled_image_ground_truth_uses_truth() {
-        let img = sample_image(ImageAttribute::Plain, DamageLabel::Severe, DamageLabel::Severe);
+        let img = sample_image(
+            ImageAttribute::Plain,
+            DamageLabel::Severe,
+            DamageLabel::Severe,
+        );
         let labeled = LabeledImage::ground_truth(img);
         assert_eq!(labeled.label, DamageLabel::Severe);
     }

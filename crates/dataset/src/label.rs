@@ -20,8 +20,11 @@ impl DamageLabel {
     pub const COUNT: usize = 3;
 
     /// All labels in index order.
-    pub const ALL: [DamageLabel; Self::COUNT] =
-        [DamageLabel::NoDamage, DamageLabel::Moderate, DamageLabel::Severe];
+    pub const ALL: [DamageLabel; Self::COUNT] = [
+        DamageLabel::NoDamage,
+        DamageLabel::Moderate,
+        DamageLabel::Severe,
+    ];
 
     /// Stable class index in `0..COUNT`, used by confusion matrices and
     /// probability vectors.

@@ -141,7 +141,10 @@ impl SensingCycleStream {
     /// Panics if `cycles * images_per_cycle` exceeds the test split, or if
     /// either parameter is zero.
     pub fn new(dataset: &Dataset, cycles: usize, images_per_cycle: usize) -> Self {
-        assert!(cycles > 0 && images_per_cycle > 0, "stream must be non-empty");
+        assert!(
+            cycles > 0 && images_per_cycle > 0,
+            "stream must be non-empty"
+        );
         let test = dataset.test();
         assert!(
             cycles * images_per_cycle <= test.len(),

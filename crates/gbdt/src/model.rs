@@ -61,7 +61,10 @@ impl GbdtConfig {
     fn validate(&self) {
         assert!(self.rounds > 0, "need at least one boosting round");
         assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(self.lambda >= 0.0 && self.gamma >= 0.0, "regularizers must be >= 0");
+        assert!(
+            self.lambda >= 0.0 && self.gamma >= 0.0,
+            "regularizers must be >= 0"
+        );
         assert!(
             self.subsample > 0.0 && self.subsample <= 1.0,
             "subsample must be in (0, 1]"
@@ -70,7 +73,10 @@ impl GbdtConfig {
             self.colsample > 0.0 && self.colsample <= 1.0,
             "colsample must be in (0, 1]"
         );
-        assert!(self.min_child_weight >= 0.0, "min_child_weight must be >= 0");
+        assert!(
+            self.min_child_weight >= 0.0,
+            "min_child_weight must be >= 0"
+        );
     }
 }
 
@@ -151,7 +157,10 @@ impl GbdtClassifier {
     ///
     /// Panics if the set is empty or inconsistent.
     pub fn log_loss(&self, rows: &[Vec<f64>], labels: &[usize]) -> f64 {
-        assert!(!rows.is_empty() && rows.len() == labels.len(), "bad eval set");
+        assert!(
+            !rows.is_empty() && rows.len() == labels.len(),
+            "bad eval set"
+        );
         let scores: Vec<Vec<f64>> = rows.iter().map(|r| self.decision_scores(r)).collect();
         log_loss_of_scores(&scores, labels)
     }
@@ -314,7 +323,10 @@ impl GbdtClassifier {
     ///
     /// Panics if inputs are empty or mismatched.
     pub fn accuracy(&self, rows: &[Vec<f64>], labels: &[usize]) -> f64 {
-        assert!(!rows.is_empty() && rows.len() == labels.len(), "bad eval set");
+        assert!(
+            !rows.is_empty() && rows.len() == labels.len(),
+            "bad eval set"
+        );
         let correct = rows
             .iter()
             .zip(labels)
@@ -389,13 +401,19 @@ mod tests {
             &rows,
             &labels,
             3,
-            &GbdtConfig { rounds: 2, ..GbdtConfig::small() },
+            &GbdtConfig {
+                rounds: 2,
+                ..GbdtConfig::small()
+            },
         );
         let long = GbdtClassifier::fit(
             &rows,
             &labels,
             3,
-            &GbdtConfig { rounds: 40, ..GbdtConfig::small() },
+            &GbdtConfig {
+                rounds: 40,
+                ..GbdtConfig::small()
+            },
         );
         assert!(long.accuracy(&rows, &labels) >= short.accuracy(&rows, &labels));
     }
@@ -409,7 +427,7 @@ mod tests {
             let b = ((i / 10) % 2) as f64;
             let noise = (i % 10) as f64 * 0.01;
             rows.push(vec![a + noise, b - noise]);
-            labels.push(((a as usize) ^ (b as usize)) as usize);
+            labels.push((a as usize) ^ (b as usize));
         }
         let model = GbdtClassifier::fit(&rows, &labels, 2, &GbdtConfig::small());
         assert!(model.accuracy(&rows, &labels) > 0.95);
@@ -446,10 +464,16 @@ mod tests {
     #[test]
     fn generalizes_to_held_out_points() {
         let (rows, labels) = blobs(40);
-        let (train_r, test_r): (Vec<_>, Vec<_>) =
-            rows.iter().cloned().enumerate().partition(|(i, _)| i % 4 != 0);
-        let (train_l, test_l): (Vec<_>, Vec<_>) =
-            labels.iter().copied().enumerate().partition(|(i, _)| i % 4 != 0);
+        let (train_r, test_r): (Vec<_>, Vec<_>) = rows
+            .iter()
+            .cloned()
+            .enumerate()
+            .partition(|(i, _)| i % 4 != 0);
+        let (train_l, test_l): (Vec<_>, Vec<_>) = labels
+            .iter()
+            .copied()
+            .enumerate()
+            .partition(|(i, _)| i % 4 != 0);
         let train_rows: Vec<Vec<f64>> = train_r.into_iter().map(|(_, r)| r).collect();
         let train_labels: Vec<usize> = train_l.into_iter().map(|(_, l)| l).collect();
         let test_rows: Vec<Vec<f64>> = test_r.into_iter().map(|(_, r)| r).collect();
@@ -482,10 +506,12 @@ mod tests {
         let labels: Vec<usize> = (0..120).map(|i| (i * 7 + i / 13) % 3).collect();
         let (train_r, val_r) = rows.split_at(80);
         let (train_l, val_l) = labels.split_at(80);
-        let config = GbdtConfig { rounds: 80, ..GbdtConfig::small() };
-        let model = GbdtClassifier::fit_with_validation(
-            train_r, train_l, val_r, val_l, 3, &config, 5,
-        );
+        let config = GbdtConfig {
+            rounds: 80,
+            ..GbdtConfig::small()
+        };
+        let model =
+            GbdtClassifier::fit_with_validation(train_r, train_l, val_r, val_l, 3, &config, 5);
         assert!(model.rounds() < 80, "stopped at {} rounds", model.rounds());
         // And the truncated model's validation loss must be no worse than
         // the fully boosted one.
@@ -498,10 +524,12 @@ mod tests {
         let (rows, labels) = blobs(40);
         let (train_r, val_r) = rows.split_at(90);
         let (train_l, val_l) = labels.split_at(90);
-        let config = GbdtConfig { rounds: 30, ..GbdtConfig::small() };
-        let model = GbdtClassifier::fit_with_validation(
-            train_r, train_l, val_r, val_l, 3, &config, 10,
-        );
+        let config = GbdtConfig {
+            rounds: 30,
+            ..GbdtConfig::small()
+        };
+        let model =
+            GbdtClassifier::fit_with_validation(train_r, train_l, val_r, val_l, 3, &config, 10);
         assert!(model.accuracy(val_r, val_l) > 0.9);
     }
 
@@ -509,10 +537,22 @@ mod tests {
     fn log_loss_orders_models_sensibly() {
         let (rows, labels) = blobs(20);
         let short = GbdtClassifier::fit(
-            &rows, &labels, 3, &GbdtConfig { rounds: 1, ..GbdtConfig::small() },
+            &rows,
+            &labels,
+            3,
+            &GbdtConfig {
+                rounds: 1,
+                ..GbdtConfig::small()
+            },
         );
         let long = GbdtClassifier::fit(
-            &rows, &labels, 3, &GbdtConfig { rounds: 40, ..GbdtConfig::small() },
+            &rows,
+            &labels,
+            3,
+            &GbdtConfig {
+                rounds: 40,
+                ..GbdtConfig::small()
+            },
         );
         assert!(long.log_loss(&rows, &labels) < short.log_loss(&rows, &labels));
     }
@@ -533,7 +573,13 @@ mod tests {
     fn zero_patience_rejected() {
         let (rows, labels) = blobs(5);
         GbdtClassifier::fit_with_validation(
-            &rows, &labels, &rows, &labels, 3, &GbdtConfig::small(), 0,
+            &rows,
+            &labels,
+            &rows,
+            &labels,
+            3,
+            &GbdtConfig::small(),
+            0,
         );
     }
 

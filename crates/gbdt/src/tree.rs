@@ -3,11 +3,12 @@
 use serde::{Deserialize, Serialize};
 
 /// How candidate split thresholds are enumerated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SplitMode {
     /// Sort each feature and consider every boundary between distinct
     /// values — optimal, `O(n log n)` per feature per node. The right choice
     /// for CQC-sized data.
+    #[default]
     Exact,
     /// Bucket each feature into equal-width bins over the node's value range
     /// and consider only bin edges — `O(n)` per feature per node, the
@@ -16,12 +17,6 @@ pub enum SplitMode {
         /// Number of buckets per feature (at least 2).
         bins: usize,
     },
-}
-
-impl Default for SplitMode {
-    fn default() -> Self {
-        SplitMode::Exact
-    }
 }
 
 /// Parameters a single tree needs from the boosting configuration.
@@ -108,20 +103,21 @@ impl RegressionTree {
         let parent_score = g_sum * g_sum / (h_sum + params.lambda);
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
 
-        let consider = |f: usize, threshold: f64, gl: f64, hl: f64, best: &mut Option<(usize, f64, f64)>| {
-            let gr = g_sum - gl;
-            let hr = h_sum - hl;
-            if hl < params.min_child_weight || hr < params.min_child_weight {
-                return;
-            }
-            let gain = 0.5
-                * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
-                    - parent_score)
-                - params.gamma;
-            if gain > 0.0 && best.map_or(true, |(_, _, bg)| gain > bg) {
-                *best = Some((f, threshold, gain));
-            }
-        };
+        let consider =
+            |f: usize, threshold: f64, gl: f64, hl: f64, best: &mut Option<(usize, f64, f64)>| {
+                let gr = g_sum - gl;
+                let hr = h_sum - hl;
+                if hl < params.min_child_weight || hr < params.min_child_weight {
+                    return;
+                }
+                let gain = 0.5
+                    * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                        - parent_score)
+                    - params.gamma;
+                if gain > 0.0 && best.is_none_or(|(_, _, bg)| gain > bg) {
+                    *best = Some((f, threshold, gain));
+                }
+            };
 
         for &f in columns {
             match params.split_mode {
@@ -151,7 +147,7 @@ impl RegressionTree {
                         lo = lo.min(features[r][f]);
                         hi = hi.max(features[r][f]);
                     }
-                    if hi - lo < f64::EPSILON {
+                    if (hi - lo).abs() < f64::EPSILON {
                         continue; // constant feature at this node
                     }
                     let width = (hi - lo) / bins as f64;
@@ -192,7 +188,15 @@ impl RegressionTree {
         let index = self.nodes.len();
         self.nodes.push(Node::Leaf { weight: 0.0 });
         let left = self.build(features, grad, hess, &left_rows, columns, params, depth + 1);
-        let right = self.build(features, grad, hess, &right_rows, columns, params, depth + 1);
+        let right = self.build(
+            features,
+            grad,
+            hess,
+            &right_rows,
+            columns,
+            params,
+            depth + 1,
+        );
         self.nodes[index] = Node::Split {
             feature,
             threshold,
@@ -220,7 +224,11 @@ impl RegressionTree {
                     right,
                     ..
                 } => {
-                    idx = if row[*feature] < *threshold { *left } else { *right };
+                    idx = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -263,7 +271,11 @@ mod tests {
 
     /// Squared-error fitting reduces to grad = pred - target with hess = 1
     /// when starting from a zero prediction: grad = -target.
-    fn fit_regression(features: &[Vec<f64>], targets: &[f64], params: &TreeParams) -> RegressionTree {
+    fn fit_regression(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        params: &TreeParams,
+    ) -> RegressionTree {
         let grad: Vec<f64> = targets.iter().map(|t| -t).collect();
         let hess = vec![1.0; targets.len()];
         let rows: Vec<usize> = (0..targets.len()).collect();
@@ -294,7 +306,10 @@ mod tests {
     fn depth_zero_is_a_stump_root() {
         let features: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
         let targets = vec![-1.0, -1.0, 1.0, 1.0];
-        let params = TreeParams { max_depth: 0, ..PARAMS };
+        let params = TreeParams {
+            max_depth: 0,
+            ..PARAMS
+        };
         let tree = fit_regression(&features, &targets, &params);
         assert_eq!(tree.node_count(), 1);
     }
@@ -304,7 +319,10 @@ mod tests {
         let features: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
         // Almost-constant targets: the best split's gain is tiny.
         let targets = vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.05];
-        let strict = TreeParams { gamma: 10.0, ..PARAMS };
+        let strict = TreeParams {
+            gamma: 10.0,
+            ..PARAMS
+        };
         let tree = fit_regression(&features, &targets, &strict);
         assert_eq!(tree.leaf_count(), 1, "high gamma must prune everything");
     }
@@ -393,7 +411,9 @@ mod tests {
     #[test]
     fn histogram_with_few_bins_still_produces_a_valid_tree() {
         let features: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, i as f64]).collect();
-        let targets: Vec<f64> = (0..30).map(|i| if i % 7 < 3 { -1.0 } else { 1.0 }).collect();
+        let targets: Vec<f64> = (0..30)
+            .map(|i| if i % 7 < 3 { -1.0 } else { 1.0 })
+            .collect();
         let params = TreeParams {
             split_mode: SplitMode::Histogram { bins: 2 },
             ..PARAMS

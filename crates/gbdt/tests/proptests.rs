@@ -40,7 +40,7 @@ proptest! {
             &GbdtConfig { rounds: 10, ..GbdtConfig::small() },
         );
         let mut point = vec![query];
-        point.extend(std::iter::repeat(0.5).take(noise_features));
+        point.extend(std::iter::repeat_n(0.5, noise_features));
         let probs = model.predict_proba(&point);
         prop_assert_eq!(probs.len(), 2);
         prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);

@@ -57,7 +57,10 @@ where
     F: Fn(&[f64]) -> f64,
 {
     assert!(!samples.is_empty(), "need at least one sample");
-    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "level must be in (0, 1)"
+    );
     assert!(resamples > 0, "need at least one resample");
 
     let point = statistic(samples);

@@ -140,7 +140,11 @@ impl ConfusionMatrix {
         let predicted = self.predicted(class) as f64;
         let support = self.support(class);
         let precision = if predicted > 0.0 { tp / predicted } else { 0.0 };
-        let recall = if support > 0 { tp / support as f64 } else { 0.0 };
+        let recall = if support > 0 {
+            tp / support as f64
+        } else {
+            0.0
+        };
         let f1 = if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
         } else {

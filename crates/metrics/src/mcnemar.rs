@@ -134,8 +134,8 @@ mod tests {
         // A corrects 10 items, B corrects none A missed.
         let mut a = vec![true; 50];
         let mut b = vec![true; 50];
-        for i in 0..10 {
-            b[i] = false;
+        for flag in &mut b[..10] {
+            *flag = false;
         }
         a[49] = false;
         b[49] = false;
@@ -163,8 +163,8 @@ mod tests {
         // 5 discordant, all favoring A: p = 2 * (1/2)^5 = 0.0625.
         let a = vec![true; 10];
         let mut b = vec![true; 10];
-        for i in 0..5 {
-            b[i] = false;
+        for flag in &mut b[..5] {
+            *flag = false;
         }
         let out = mcnemar_test(&a, &b);
         assert!((out.p_value - 0.0625).abs() < 1e-9, "p = {}", out.p_value);
@@ -177,11 +177,11 @@ mod tests {
         let n = 200;
         let mut a = vec![true; n];
         let mut b = vec![true; n];
-        for i in 0..40 {
-            b[i] = false;
+        for flag in &mut b[..40] {
+            *flag = false;
         }
-        for i in 50..60 {
-            a[i] = false;
+        for flag in &mut a[50..60] {
+            *flag = false;
         }
         let out = mcnemar_test(&a, &b);
         assert!(out.significant(0.01), "p = {}", out.p_value);

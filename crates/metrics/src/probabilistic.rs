@@ -85,17 +85,16 @@ impl CalibrationReport {
         let mut counts = vec![0usize; bins];
         for (probs, &truth) in scores.iter().zip(truths) {
             assert!(truth < probs.len(), "truth label out of range");
-            let (argmax, confidence) = probs
-                .iter()
-                .copied()
-                .enumerate()
-                .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, v)| {
+            let (argmax, confidence) = probs.iter().copied().enumerate().fold(
+                (0, f64::NEG_INFINITY),
+                |(bi, bv), (i, v)| {
                     if v > bv {
                         (i, v)
                     } else {
                         (bi, bv)
                     }
-                });
+                },
+            );
             let bin = ((confidence * bins as f64) as usize).min(bins - 1);
             conf_sum[bin] += confidence;
             acc_sum[bin] += f64::from(u8::from(argmax == truth));

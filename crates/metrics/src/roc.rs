@@ -278,8 +278,7 @@ mod tests {
         // scores: pos {0.8, 0.5}, neg {0.5, 0.2}
         // Pairs: (0.8 vs 0.5)=1, (0.8 vs 0.2)=1, (0.5 vs 0.5)=0.5, (0.5 vs 0.2)=1
         // AUC = 3.5/4 = 0.875
-        let roc =
-            RocCurve::from_binary_scores(&[0.8, 0.5, 0.5, 0.2], &[true, true, false, false]);
+        let roc = RocCurve::from_binary_scores(&[0.8, 0.5, 0.5, 0.2], &[true, true, false, false]);
         assert!((roc.auc() - 0.875).abs() < 1e-12);
     }
 

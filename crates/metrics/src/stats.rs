@@ -184,7 +184,9 @@ mod tests {
 
     #[test]
     fn mean_and_std_match_closed_form() {
-        let s: SummaryStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: SummaryStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Sample variance of that classic example is 32/7.
         assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);

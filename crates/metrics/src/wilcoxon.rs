@@ -124,7 +124,11 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonOutcome {
     let z = if var > 0.0 {
         // Continuity correction of 0.5 toward the mean.
         let num = w - mean;
-        let corrected = if num.abs() <= 0.5 { 0.0 } else { num.abs() - 0.5 };
+        let corrected = if num.abs() <= 0.5 {
+            0.0
+        } else {
+            num.abs() - 0.5
+        };
         -(corrected / var.sqrt())
     } else {
         0.0
@@ -174,7 +178,8 @@ fn erfc(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     let result = poly * (-x * x).exp();
     if sign_negative {
         2.0 - result
@@ -235,8 +240,12 @@ mod tests {
     #[test]
     fn textbook_example_matches_known_statistic() {
         // Classic example (e.g. from Siegel): differences with known W.
-        let a = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
-        let b = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let a = [
+            125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0,
+        ];
+        let b = [
+            110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0,
+        ];
         let out = wilcoxon_signed_rank(&a, &b);
         // One zero difference dropped -> 9 effective pairs.
         assert_eq!(out.n_effective, 9);

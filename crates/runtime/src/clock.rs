@@ -1,0 +1,77 @@
+//! Virtual time.
+
+/// A monotone virtual clock, in seconds since the start of the run.
+///
+/// The runtime is a discrete-event simulation: time only moves when the
+/// [`crate::EventQueue`] hands the loop its next event, and it never moves
+/// backwards. Wall-clock time plays no role anywhere — two runs with the
+/// same seeds and configuration see the exact same sequence of instants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualClock {
+    now_secs: f64,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualClock {
+    /// A clock at virtual time zero.
+    pub fn new() -> Self {
+        Self { now_secs: 0.0 }
+    }
+
+    /// The current virtual time, in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.now_secs
+    }
+
+    /// Advances to `at_secs`, returning the elapsed interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_secs` is NaN or earlier than the current time —
+    /// monotonicity is the invariant every event-ordering proof leans on,
+    /// so violating it is a bug, not a recoverable condition.
+    pub fn advance_to(&mut self, at_secs: f64) -> f64 {
+        assert!(!at_secs.is_nan(), "virtual time must not be NaN");
+        assert!(
+            at_secs >= self.now_secs,
+            "virtual clock must be monotone: {at_secs} < {}",
+            self.now_secs
+        );
+        let elapsed = at_secs - self.now_secs;
+        self.now_secs = at_secs;
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now_secs(), 0.0);
+        assert_eq!(clock.advance_to(12.5), 12.5);
+        assert_eq!(clock.advance_to(12.5), 0.0);
+        assert_eq!(clock.now_secs(), 12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_backwards_time() {
+        let mut clock = VirtualClock::new();
+        clock.advance_to(10.0);
+        clock.advance_to(9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        VirtualClock::new().advance_to(f64::NAN);
+    }
+}

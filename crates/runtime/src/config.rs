@@ -1,0 +1,113 @@
+//! Runtime configuration.
+
+/// Configuration of the event-driven runtime: the sensing cadence, how many
+/// cycles may be in flight, and the per-HIT timeout/repost policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Seconds between sensing-cycle arrivals (paper Definition 1: a cycle
+    /// every 10 minutes).
+    pub cycle_period_secs: f64,
+    /// Maximum sensing cycles concurrently in the pipeline (backpressure):
+    /// arrivals beyond the window queue up and are admitted as earlier
+    /// cycles retire. `1` reproduces the fully sequential system.
+    pub inflight_window: usize,
+    /// Optional per-HIT timeout: a HIT whose workers have not all answered
+    /// within this many seconds of posting expires and may be reposted.
+    /// `None` waits out every answer (the paper's setting).
+    pub hit_timeout_secs: Option<f64>,
+    /// Maximum posting attempts per query, counting the original post.
+    /// Reposts beyond this absorb the original (late) answer as a
+    /// learning-only observation.
+    pub max_post_attempts: u32,
+    /// Whether a repost escalates one incentive level above the expired
+    /// attempt (capped at the highest level); `false` reposts at the same
+    /// incentive.
+    pub escalate_on_repost: bool,
+}
+
+impl RuntimeConfig {
+    /// The paper deployment's cadence: 600 s cycles, a four-cycle pipeline
+    /// window, no per-HIT timeout.
+    pub fn paper() -> Self {
+        Self {
+            cycle_period_secs: 600.0,
+            inflight_window: 4,
+            hit_timeout_secs: None,
+            max_post_attempts: 1,
+            escalate_on_repost: true,
+        }
+    }
+
+    /// A window-1 configuration: cycles never overlap, reproducing the
+    /// blocking system's module-call order exactly (the golden-test mode).
+    pub fn sequential() -> Self {
+        Self::paper().with_inflight_window(1)
+    }
+
+    /// Sets the in-flight cycle window.
+    pub fn with_inflight_window(mut self, window: usize) -> Self {
+        self.inflight_window = window;
+        self
+    }
+
+    /// Sets the sensing-cycle period.
+    pub fn with_cycle_period_secs(mut self, secs: f64) -> Self {
+        self.cycle_period_secs = secs;
+        self
+    }
+
+    /// Sets the per-HIT timeout and the total posting attempts allowed.
+    pub fn with_hit_timeout(mut self, timeout_secs: Option<f64>, max_attempts: u32) -> Self {
+        self.hit_timeout_secs = timeout_secs;
+        self.max_post_attempts = max_attempts;
+        self
+    }
+
+    /// Sets whether reposts escalate the incentive.
+    pub fn with_escalation(mut self, escalate: bool) -> Self {
+        self.escalate_on_repost = escalate;
+        self
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.cycle_period_secs > 0.0,
+            "cycle period must be positive"
+        );
+        assert!(
+            self.inflight_window > 0,
+            "window must admit at least one cycle"
+        );
+        assert!(
+            self.max_post_attempts >= 1,
+            "need at least one post attempt"
+        );
+        if let Some(t) = self.hit_timeout_secs {
+            assert!(t > 0.0, "HIT timeout must be positive");
+        }
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        RuntimeConfig::paper().validate();
+        RuntimeConfig::sequential().validate();
+        assert_eq!(RuntimeConfig::sequential().inflight_window, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_window_rejected() {
+        RuntimeConfig::paper().with_inflight_window(0).validate();
+    }
+}

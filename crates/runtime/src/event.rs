@@ -1,0 +1,139 @@
+//! The typed event vocabulary of the pipelined runtime.
+
+use crate::HitId;
+use std::cmp::Ordering;
+
+/// What happens at a virtual instant.
+///
+/// Six event kinds cover the whole CrowdLearn loop once crowd waits are
+/// asynchronous: cycles arrive on the sensing cadence, AI inference
+/// completes after the committee's execution delay, HITs are posted /
+/// answered / expired on the platform, and retraining closes a cycle out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A sensing cycle's imagery arrived (paper Definition 1: one batch
+    /// every cycle period).
+    CycleArrival {
+        /// Index of the arriving cycle.
+        cycle: usize,
+    },
+    /// Committee inference + QSS/IPD bookkeeping for a cycle finished; its
+    /// crowd queries may start posting.
+    InferenceDone {
+        /// Index of the inferred cycle.
+        cycle: usize,
+    },
+    /// A HIT went up on the platform.
+    HitPosted {
+        /// Cycle the query belongs to.
+        cycle: usize,
+        /// The posted HIT.
+        hit: HitId,
+    },
+    /// Every worker on a HIT has answered; the response is observable.
+    HitAnswered {
+        /// Cycle the query belongs to.
+        cycle: usize,
+        /// The answered HIT.
+        hit: HitId,
+    },
+    /// A HIT reached its timeout with workers still pending; the runtime
+    /// may repost it at an escalated incentive.
+    HitTimedOut {
+        /// Cycle the query belongs to.
+        cycle: usize,
+        /// The expired HIT.
+        hit: HitId,
+    },
+    /// MIC finished the cycle's weight update + retrain; the cycle's
+    /// pipeline slot is free.
+    RetrainDone {
+        /// Index of the finalized cycle.
+        cycle: usize,
+    },
+}
+
+impl EventKind {
+    /// The sensing cycle this event belongs to.
+    pub fn cycle(&self) -> usize {
+        match *self {
+            EventKind::CycleArrival { cycle }
+            | EventKind::InferenceDone { cycle }
+            | EventKind::HitPosted { cycle, .. }
+            | EventKind::HitAnswered { cycle, .. }
+            | EventKind::HitTimedOut { cycle, .. }
+            | EventKind::RetrainDone { cycle } => cycle,
+        }
+    }
+}
+
+/// A scheduled event: a kind, a virtual due time, and a tie-breaking
+/// sequence number.
+///
+/// Events order by `(at_secs, seq)`. The sequence number is assigned at
+/// scheduling time, so simultaneous events pop in the order they were
+/// scheduled — which makes the whole simulation a deterministic function of
+/// the seeds, independent of heap internals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Virtual due time, seconds.
+    pub at_secs: f64,
+    /// Scheduling order, the tie-breaker for simultaneous events.
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at_secs
+            .total_cmp(&other.at_secs)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_seq() {
+        let a = Event {
+            at_secs: 1.0,
+            seq: 5,
+            kind: EventKind::CycleArrival { cycle: 0 },
+        };
+        let b = Event {
+            at_secs: 1.0,
+            seq: 6,
+            kind: EventKind::CycleArrival { cycle: 1 },
+        };
+        let c = Event {
+            at_secs: 0.5,
+            seq: 7,
+            kind: EventKind::CycleArrival { cycle: 2 },
+        };
+        assert!(c < a && a < b);
+    }
+
+    #[test]
+    fn kind_reports_cycle() {
+        assert_eq!(EventKind::RetrainDone { cycle: 7 }.cycle(), 7);
+        assert_eq!(
+            EventKind::HitAnswered {
+                cycle: 3,
+                hit: HitId(9)
+            }
+            .cycle(),
+            3
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! In-flight HIT tracking.
+
+use crowdlearn_crowd::{IncentiveLevel, PendingHit};
+use std::collections::BTreeMap;
+
+/// Identifier of a posted HIT, unique within one runtime run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HitId(pub u64);
+
+/// A HIT the runtime has posted and not yet resolved (answered, expired, or
+/// abandoned).
+#[derive(Debug, Clone)]
+pub struct InFlightHit {
+    /// The HIT's id.
+    pub id: HitId,
+    /// Sensing cycle the query belongs to.
+    pub cycle: usize,
+    /// Index of the queried image within its cycle.
+    pub image_index: usize,
+    /// Incentive paid for this attempt.
+    pub incentive: IncentiveLevel,
+    /// Virtual time the HIT was posted.
+    pub posted_at_secs: f64,
+    /// 1 for the original post, +1 per repost.
+    pub attempt: u32,
+    /// The platform's pending answer.
+    pub pending: PendingHit,
+}
+
+/// The board of in-flight HITs.
+///
+/// Backed by a `BTreeMap` so iteration order (and therefore anything
+/// derived from it) is deterministic. The board also tracks its own
+/// high-water mark, which the bounded-window property tests assert against.
+#[derive(Debug, Default)]
+pub struct HitBoard {
+    inflight: BTreeMap<HitId, InFlightHit>,
+    next_id: u64,
+    peak: usize,
+}
+
+impl HitBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a newly posted HIT and returns its id.
+    pub fn post(
+        &mut self,
+        cycle: usize,
+        image_index: usize,
+        incentive: IncentiveLevel,
+        posted_at_secs: f64,
+        attempt: u32,
+        pending: PendingHit,
+    ) -> HitId {
+        let id = HitId(self.next_id);
+        self.next_id += 1;
+        self.inflight.insert(
+            id,
+            InFlightHit {
+                id,
+                cycle,
+                image_index,
+                incentive,
+                posted_at_secs,
+                attempt,
+                pending,
+            },
+        );
+        self.peak = self.peak.max(self.inflight.len());
+        id
+    }
+
+    /// Removes and returns a HIT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not in flight — every scheduled
+    /// `HitAnswered`/`HitTimedOut` event must resolve exactly one HIT, so a
+    /// miss means an event was duplicated or lost.
+    pub fn take(&mut self, id: HitId) -> InFlightHit {
+        self.inflight
+            .remove(&id)
+            .expect("HIT resolved twice or never posted")
+    }
+
+    /// HITs currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The most HITs ever simultaneously in flight.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak
+    }
+
+    /// Total HITs ever posted.
+    pub fn total_posted(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdlearn_crowd::{Platform, PlatformConfig};
+    use crowdlearn_dataset::{Dataset, DatasetConfig, TemporalContext};
+
+    fn pending() -> PendingHit {
+        let ds = Dataset::generate(&DatasetConfig::paper().with_seed(1));
+        let mut p = Platform::new(PlatformConfig::paper().with_seed(1));
+        p.post(&ds.test()[0], IncentiveLevel::C6, TemporalContext::Morning)
+    }
+
+    #[test]
+    fn ids_are_sequential_and_peak_tracks() {
+        let mut board = HitBoard::new();
+        let a = board.post(0, 1, IncentiveLevel::C6, 0.0, 1, pending());
+        let b = board.post(0, 2, IncentiveLevel::C6, 1.0, 1, pending());
+        assert_eq!((a, b), (HitId(0), HitId(1)));
+        assert_eq!(board.in_flight(), 2);
+        board.take(a);
+        assert_eq!(board.in_flight(), 1);
+        assert_eq!(board.peak_in_flight(), 2);
+        assert_eq!(board.total_posted(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved twice")]
+    fn double_take_panics() {
+        let mut board = HitBoard::new();
+        let id = board.post(0, 0, IncentiveLevel::C1, 0.0, 1, pending());
+        board.take(id);
+        board.take(id);
+    }
+}

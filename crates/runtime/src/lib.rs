@@ -1,0 +1,54 @@
+//! # crowdlearn-runtime
+//!
+//! An event-driven, virtual-time runtime for the CrowdLearn closed loop.
+//!
+//! The blocking [`CrowdLearnSystem`](crowdlearn::CrowdLearnSystem) waits
+//! out every crowd answer before touching the next query, so a sensing
+//! cycle's wall time is dominated by serial crowd latency. In the paper's
+//! deployment those waits overlap: cycle `k`'s HITs are still out on the
+//! platform while cycle `k+1`'s imagery arrives and runs AI inference.
+//! This crate reproduces that overlap *deterministically* as a
+//! discrete-event simulation:
+//!
+//! - [`VirtualClock`] — monotone virtual seconds; wall time plays no role.
+//! - [`EventQueue`] — a binary-heap queue of typed [`Event`]s ordered by
+//!   `(due time, scheduling order)`, so simultaneous events resolve
+//!   deterministically.
+//! - [`EventKind`] — the six-event vocabulary of the loop: cycle arrivals,
+//!   inference completions, HIT postings/answers/timeouts, retrain
+//!   completions.
+//! - [`HitBoard`] — the in-flight HIT table with its high-water mark.
+//! - [`PipelinedSystem`] — the CrowdLearn modules (QSS/IPD/CQC/MIC)
+//!   re-driven as event handlers over the reentrant cycle stages the core
+//!   crate exposes, with bounded cycle overlap (backpressure), per-HIT
+//!   timeouts, and incentive-escalated reposts charged to the same budget.
+//! - [`ParallelSweep`] — scoped-thread executor running one independently
+//!   seeded experiment per sweep point, returning results in input order.
+//!
+//! ## Equivalence to the blocking system
+//!
+//! With [`RuntimeConfig::sequential`] (an in-flight window of one, no HIT
+//! timeout), the event loop executes the *exact* module-call sequence of
+//! the blocking system and produces byte-identical per-image labels — the
+//! golden test in `tests/golden.rs` pins this. Wider windows change only
+//! *when* module calls interleave across cycles, never the per-call
+//! arithmetic, and cut the virtual-time makespan by overlapping crowd
+//! waits (`crowdlearn-bench --bin makespan` quantifies it).
+
+#![forbid(unsafe_code)]
+
+mod clock;
+mod config;
+mod event;
+mod hit;
+mod pipeline;
+mod queue;
+mod sweep;
+
+pub use clock::VirtualClock;
+pub use config::RuntimeConfig;
+pub use event::{Event, EventKind};
+pub use hit::{HitBoard, HitId, InFlightHit};
+pub use pipeline::{blocking_makespan_secs, PipelinedSystem, RuntimeReport};
+pub use queue::EventQueue;
+pub use sweep::ParallelSweep;

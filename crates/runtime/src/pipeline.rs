@@ -1,0 +1,351 @@
+//! The pipelined CrowdLearn system: the paper's closed loop re-driven as a
+//! discrete-event simulation so crowd waits overlap computation.
+
+use crate::{EventKind, EventQueue, HitBoard, HitId, RuntimeConfig, VirtualClock};
+use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem, CycleOutcome, CycleWork, SchemeReport};
+use crowdlearn_crowd::IncentiveLevel;
+use crowdlearn_dataset::{Dataset, SensingCycle, SensingCycleStream};
+use std::collections::{BTreeMap, VecDeque};
+
+/// What a pipelined run produced, beyond the usual quality report: the
+/// virtual-time makespan and the pipelining/repost telemetry.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// The run's quality report (accuracy, F1, spend) — same shape the
+    /// blocking system produces.
+    pub report: SchemeReport,
+    /// Per-cycle outcomes in cycle order, for label-level comparison
+    /// against the blocking system.
+    pub outcomes: Vec<CycleOutcome>,
+    /// Virtual time at which the last cycle finalized.
+    pub makespan_secs: f64,
+    /// Virtual completion time of each cycle, in cycle order.
+    pub completed_at_secs: Vec<f64>,
+    /// Events the loop processed.
+    pub events_processed: u64,
+    /// Most sensing cycles ever simultaneously admitted.
+    pub peak_cycles_in_flight: usize,
+    /// Most HITs ever simultaneously in flight.
+    pub peak_hits_in_flight: usize,
+    /// HITs that reached their timeout.
+    pub timeouts: u64,
+    /// Timed-out HITs that were reposted.
+    pub reposts: u64,
+}
+
+/// The virtual-time makespan of the *blocking* system on the same
+/// outcomes: each cycle starts at the later of its arrival and the previous
+/// cycle's completion, then serially waits out inference plus every crowd
+/// answer (the `run_cycle` loop's behaviour, timed).
+pub fn blocking_makespan_secs(outcomes: &[CycleOutcome], cycle_period_secs: f64) -> f64 {
+    let mut t = 0.0f64;
+    for (k, outcome) in outcomes.iter().enumerate() {
+        let arrival = k as f64 * cycle_period_secs;
+        let queries = outcome.images.iter().filter(|i| i.queried).count() as f64;
+        let crowd_sum = outcome.crowd_delay_secs.unwrap_or(0.0) * queries;
+        t = arrival.max(t) + outcome.algorithm_delay_secs + crowd_sum;
+    }
+    t
+}
+
+/// The CrowdLearn closed loop driven by an event queue over virtual time.
+///
+/// Within a cycle, queries chain exactly as the blocking system issues
+/// them — the next query posts only once the previous answer is absorbed,
+/// because IPD's choice for query *n+1* depends on the delay observed for
+/// query *n*. Pipelining comes from *cycles overlapping*: while cycle `k`'s
+/// crowd answers are pending, cycles `k+1..k+window-1` arrive, run
+/// inference, and post their own queries. With `inflight_window == 1` the
+/// event loop degenerates to the blocking system's exact module-call order,
+/// which is what the golden test pins: identical per-image labels, cycle by
+/// cycle.
+pub struct PipelinedSystem {
+    system: CrowdLearnSystem,
+    config: RuntimeConfig,
+}
+
+impl PipelinedSystem {
+    /// Boots the underlying [`CrowdLearnSystem`] (committee training, CQC
+    /// fit, bandit warm-up — identical to the blocking constructor) under
+    /// `runtime` scheduling.
+    pub fn new(dataset: &Dataset, config: CrowdLearnConfig, runtime: RuntimeConfig) -> Self {
+        runtime.validate();
+        Self {
+            system: CrowdLearnSystem::new(dataset, config),
+            config: runtime,
+        }
+    }
+
+    /// Wraps an already-booted system.
+    pub fn from_system(system: CrowdLearnSystem, runtime: RuntimeConfig) -> Self {
+        runtime.validate();
+        Self {
+            system,
+            config: runtime,
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn runtime_config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &CrowdLearnSystem {
+        &self.system
+    }
+
+    /// Runs the whole stream through the event loop and reports quality
+    /// plus virtual-time telemetry.
+    pub fn run(&mut self, dataset: &Dataset, stream: &SensingCycleStream) -> RuntimeReport {
+        let driver = Driver {
+            system: &mut self.system,
+            config: self.config,
+            dataset,
+            cycles: stream.cycles(),
+            clock: VirtualClock::new(),
+            queue: EventQueue::new(),
+            board: HitBoard::new(),
+            active: BTreeMap::new(),
+            waiting: VecDeque::new(),
+            slots_used: 0,
+            outcomes: (0..stream.cycles().len()).map(|_| None).collect(),
+            completed_at_secs: vec![0.0; stream.cycles().len()],
+            peak_cycles_in_flight: 0,
+            timeouts: 0,
+            reposts: 0,
+        };
+        driver.run()
+    }
+}
+
+/// All the mutable state of one event-loop execution.
+struct Driver<'a> {
+    system: &'a mut CrowdLearnSystem,
+    config: RuntimeConfig,
+    dataset: &'a Dataset,
+    cycles: &'a [SensingCycle],
+    clock: VirtualClock,
+    queue: EventQueue,
+    board: HitBoard,
+    /// Cycles whose inference has completed and whose queries are live.
+    active: BTreeMap<usize, CycleWork>,
+    /// Cycles that have arrived but exceed the in-flight window.
+    waiting: VecDeque<usize>,
+    /// Cycles admitted (inference scheduled or active) and not yet retired.
+    slots_used: usize,
+    outcomes: Vec<Option<CycleOutcome>>,
+    completed_at_secs: Vec<f64>,
+    peak_cycles_in_flight: usize,
+    timeouts: u64,
+    reposts: u64,
+}
+
+impl Driver<'_> {
+    fn run(mut self) -> RuntimeReport {
+        for k in 0..self.cycles.len() {
+            self.queue.schedule(
+                k as f64 * self.config.cycle_period_secs,
+                EventKind::CycleArrival { cycle: k },
+            );
+        }
+
+        let mut events = 0u64;
+        while let Some(event) = self.queue.pop() {
+            self.clock.advance_to(event.at_secs);
+            events += 1;
+            match event.kind {
+                EventKind::CycleArrival { cycle } => {
+                    self.waiting.push_back(cycle);
+                    self.try_admit();
+                }
+                EventKind::InferenceDone { cycle } => {
+                    let work = self.system.start_cycle(&self.cycles[cycle], self.dataset);
+                    self.active.insert(cycle, work);
+                    self.peak_cycles_in_flight = self.peak_cycles_in_flight.max(self.active.len());
+                    self.post_or_finalize(cycle);
+                }
+                // Informational marker emitted when a HIT goes up; the
+                // posting itself happened when it was scheduled.
+                EventKind::HitPosted { .. } => {}
+                EventKind::HitAnswered { cycle, hit } => self.on_answered(cycle, hit),
+                EventKind::HitTimedOut { cycle, hit } => self.on_timed_out(cycle, hit),
+                EventKind::RetrainDone { cycle } => {
+                    let work = self
+                        .active
+                        .remove(&cycle)
+                        .expect("RetrainDone for a cycle that is not active");
+                    let outcome =
+                        self.system
+                            .finalize_cycle(work, &self.cycles[cycle], self.dataset);
+                    self.completed_at_secs[cycle] = self.clock.now_secs();
+                    self.outcomes[cycle] = Some(outcome);
+                    self.slots_used -= 1;
+                    self.try_admit();
+                }
+            }
+        }
+
+        assert!(self.waiting.is_empty(), "cycles left waiting at drain");
+        assert_eq!(self.board.in_flight(), 0, "HITs left in flight at drain");
+        let outcomes: Vec<CycleOutcome> = self
+            .outcomes
+            .into_iter()
+            .map(|o| o.expect("cycle never finalized"))
+            .collect();
+        let mut report = SchemeReport::new("CrowdLearn (pipelined)");
+        for outcome in &outcomes {
+            report.record_cycle(outcome);
+        }
+        let makespan_secs = self.completed_at_secs.iter().copied().fold(0.0, f64::max);
+        RuntimeReport {
+            report,
+            outcomes,
+            makespan_secs,
+            completed_at_secs: self.completed_at_secs,
+            events_processed: events,
+            peak_cycles_in_flight: self.peak_cycles_in_flight,
+            peak_hits_in_flight: self.board.peak_in_flight(),
+            timeouts: self.timeouts,
+            reposts: self.reposts,
+        }
+    }
+
+    /// Admits waiting cycles while the pipeline window has room, scheduling
+    /// each one's `InferenceDone` after the committee's execution delay.
+    fn try_admit(&mut self) {
+        while self.slots_used < self.config.inflight_window {
+            let Some(k) = self.waiting.pop_front() else {
+                return;
+            };
+            self.slots_used += 1;
+            let batch = self.cycles[k].image_ids.len();
+            let delay = self.system.algorithm_delay_secs(batch, k as u64);
+            self.queue.schedule(
+                self.clock.now_secs() + delay,
+                EventKind::InferenceDone { cycle: k },
+            );
+        }
+    }
+
+    /// Posts cycle `k`'s next query, or — when nothing is left to post and
+    /// nothing is outstanding — closes the cycle out.
+    fn post_or_finalize(&mut self, k: usize) {
+        let now = self.clock.now_secs();
+        let work = self.active.get_mut(&k).expect("cycle not active");
+        match self
+            .system
+            .post_next_query(work, &self.cycles[k], self.dataset)
+        {
+            Some(posted) => {
+                let delay = posted.pending.completion_delay_secs();
+                let hit = self.board.post(
+                    k,
+                    posted.image_index,
+                    posted.incentive,
+                    now,
+                    1,
+                    posted.pending,
+                );
+                self.schedule_hit_events(k, hit, now, delay);
+            }
+            None => {
+                if work.outstanding() == 0 {
+                    self.queue
+                        .schedule(now, EventKind::RetrainDone { cycle: k });
+                }
+            }
+        }
+    }
+
+    /// Emits the `HitPosted` marker and schedules the HIT's resolution:
+    /// `HitAnswered` when every worker beats the timeout, `HitTimedOut`
+    /// otherwise. Exactly one resolution event is scheduled per posted HIT.
+    fn schedule_hit_events(&mut self, k: usize, hit: HitId, posted_at: f64, delay: f64) {
+        self.queue
+            .schedule(posted_at, EventKind::HitPosted { cycle: k, hit });
+        match self.config.hit_timeout_secs {
+            Some(timeout) if delay > timeout => self.queue.schedule(
+                posted_at + timeout,
+                EventKind::HitTimedOut { cycle: k, hit },
+            ),
+            _ => self
+                .queue
+                .schedule(posted_at + delay, EventKind::HitAnswered { cycle: k, hit }),
+        };
+    }
+
+    fn on_answered(&mut self, k: usize, hit: HitId) {
+        let inflight = self.board.take(hit);
+        debug_assert_eq!(inflight.cycle, k);
+        let response = inflight.pending.into_response();
+        let timely = self.system.answer_is_timely(&response);
+        let work = self.active.get_mut(&k).expect("cycle not active");
+        self.system
+            .absorb_answer(work, inflight.image_index, &response, timely);
+        self.post_or_finalize(k);
+    }
+
+    /// A HIT expired. If attempts and budget allow, repost it at an
+    /// escalated incentive (the expired attempt feeds IPD a censored
+    /// delay observation — all we learned is "longer than the timeout").
+    /// Otherwise absorb the eventual answer as a late, learning-only
+    /// observation: it still updates Hedge weights and retraining but can
+    /// never offload its image.
+    fn on_timed_out(&mut self, k: usize, hit: HitId) {
+        self.timeouts += 1;
+        let timeout = self
+            .config
+            .hit_timeout_secs
+            .expect("HitTimedOut without a timeout configured");
+        let inflight = self.board.take(hit);
+        debug_assert_eq!(inflight.cycle, k);
+        let now = self.clock.now_secs();
+        let work = self.active.get_mut(&k).expect("cycle not active");
+
+        if inflight.attempt < self.config.max_post_attempts {
+            let level = if self.config.escalate_on_repost {
+                escalate(inflight.incentive)
+            } else {
+                inflight.incentive
+            };
+            if let Some(posted) = self.system.repost_query(
+                work,
+                &self.cycles[k],
+                self.dataset,
+                inflight.image_index,
+                level,
+            ) {
+                self.reposts += 1;
+                self.system.observe_crowd_delay(
+                    inflight.pending.context(),
+                    inflight.incentive,
+                    timeout,
+                );
+                let delay = posted.pending.completion_delay_secs();
+                let new_hit = self.board.post(
+                    k,
+                    posted.image_index,
+                    posted.incentive,
+                    now,
+                    inflight.attempt + 1,
+                    posted.pending,
+                );
+                self.schedule_hit_events(k, new_hit, now, delay);
+                return;
+            }
+        }
+
+        // Out of attempts (or budget): wait the expired HIT out after all.
+        let response = inflight.pending.into_response();
+        let work = self.active.get_mut(&k).expect("cycle not active");
+        self.system
+            .absorb_answer(work, inflight.image_index, &response, false);
+        self.post_or_finalize(k);
+    }
+}
+
+/// One incentive level up, saturating at the most generous.
+fn escalate(level: IncentiveLevel) -> IncentiveLevel {
+    IncentiveLevel::from_index((level.index() + 1).min(IncentiveLevel::COUNT - 1))
+}

@@ -1,0 +1,92 @@
+//! Golden equivalence: the event-driven runtime with an in-flight window
+//! of one must reproduce the blocking system *exactly* — same per-image
+//! labels, same distributions, same delays, same spend — on the paper
+//! configuration with the paper seeds.
+
+use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
+use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+use crowdlearn_runtime::{blocking_makespan_secs, PipelinedSystem, RuntimeConfig};
+
+#[test]
+fn window_one_reproduces_blocking_labels_byte_for_byte() {
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let stream = SensingCycleStream::paper(&dataset);
+
+    let mut blocking = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+    let blocking_outcomes: Vec<_> = stream
+        .cycles()
+        .iter()
+        .map(|cycle| blocking.run_cycle(cycle, &dataset))
+        .collect();
+
+    let mut pipelined = PipelinedSystem::new(
+        &dataset,
+        CrowdLearnConfig::paper(),
+        RuntimeConfig::sequential(),
+    );
+    let run = pipelined.run(&dataset, &stream);
+
+    assert_eq!(run.outcomes.len(), blocking_outcomes.len());
+    for (pipelined_outcome, blocking_outcome) in run.outcomes.iter().zip(&blocking_outcomes) {
+        // CycleOutcome equality covers every per-image label, the full
+        // class distributions, the delays, and the cents spent.
+        assert_eq!(
+            pipelined_outcome, blocking_outcome,
+            "cycle {} diverged from the blocking system",
+            blocking_outcome.cycle
+        );
+    }
+    assert_eq!(run.peak_cycles_in_flight, 1);
+    assert_eq!(run.peak_hits_in_flight, 1);
+    assert_eq!(run.timeouts, 0);
+}
+
+#[test]
+fn pipelining_beats_the_blocking_makespan() {
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let stream = SensingCycleStream::paper(&dataset);
+
+    let mut pipelined =
+        PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), RuntimeConfig::paper());
+    let run = pipelined.run(&dataset, &stream);
+
+    // The blocking reference: same outcomes, waits serialized.
+    let mut blocking = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+    let blocking_outcomes: Vec<_> = stream
+        .cycles()
+        .iter()
+        .map(|cycle| blocking.run_cycle(cycle, &dataset))
+        .collect();
+    let blocking_makespan =
+        blocking_makespan_secs(&blocking_outcomes, RuntimeConfig::paper().cycle_period_secs);
+
+    assert!(
+        run.makespan_secs < blocking_makespan,
+        "pipelined makespan {} should beat blocking {}",
+        run.makespan_secs,
+        blocking_makespan
+    );
+    assert!(
+        run.peak_cycles_in_flight > 1,
+        "window 4 should overlap cycles"
+    );
+    assert_eq!(run.outcomes.len(), 40);
+}
+
+#[test]
+fn pipelined_runs_are_deterministic() {
+    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let stream = SensingCycleStream::paper(&dataset);
+    let run = |window: usize| {
+        let mut system = PipelinedSystem::new(
+            &dataset,
+            CrowdLearnConfig::paper(),
+            RuntimeConfig::paper().with_inflight_window(window),
+        );
+        system.run(&dataset, &stream)
+    };
+    let (a, b) = (run(4), run(4));
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.makespan_secs, b.makespan_secs);
+    assert_eq!(a.events_processed, b.events_processed);
+}

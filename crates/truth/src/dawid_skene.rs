@@ -80,12 +80,7 @@ impl DawidSkeneEm {
     /// # Panics
     ///
     /// Same contract as [`Aggregator::aggregate`].
-    pub fn fit(
-        &self,
-        annotations: &[Annotation],
-        items: usize,
-        classes: usize,
-    ) -> DawidSkeneFit {
+    pub fn fit(&self, annotations: &[Annotation], items: usize, classes: usize) -> DawidSkeneFit {
         validate_annotations(annotations, items, classes);
 
         // Dense worker indexing.
@@ -235,12 +230,7 @@ mod tests {
 
     /// Deterministic planted-truth instance: `good` reliable workers (always
     /// correct) and `bad` adversarial workers (always report `(truth+1) % K`).
-    fn planted(
-        items: usize,
-        classes: usize,
-        good: u32,
-        bad: u32,
-    ) -> (Vec<Annotation>, Vec<usize>) {
+    fn planted(items: usize, classes: usize, good: u32, bad: u32) -> (Vec<Annotation>, Vec<usize>) {
         let truths: Vec<usize> = (0..items).map(|i| i % classes).collect();
         let mut annotations = Vec::new();
         for (item, &truth) in truths.iter().enumerate() {
@@ -319,10 +309,7 @@ mod tests {
         let fit = DawidSkeneEm::default().fit(&annotations, 40, 3);
         let good = &fit.confusion[&WorkerId(0)];
         for truth in 0..3 {
-            assert!(
-                good[truth][truth] > 0.9,
-                "diagonal must dominate: {good:?}"
-            );
+            assert!(good[truth][truth] > 0.9, "diagonal must dominate: {good:?}");
         }
     }
 

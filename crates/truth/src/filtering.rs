@@ -102,11 +102,7 @@ impl Aggregator for WorkerFiltering {
         for a in annotations {
             has_votes[a.item] = true;
         }
-        let effective: Vec<Annotation> = if covered
-            .iter()
-            .zip(&has_votes)
-            .all(|(&c, &h)| c || !h)
-        {
+        let effective: Vec<Annotation> = if covered.iter().zip(&has_votes).all(|(&c, &h)| c || !h) {
             kept
         } else {
             annotations.to_vec()
@@ -188,11 +184,7 @@ mod tests {
         let mut filter = WorkerFiltering::new(0.99, 1);
         // Worker 0 disagrees with consensus once -> blacklisted under the
         // brutal threshold.
-        filter.aggregate(
-            &[ann(0, 0, 1), ann(1, 0, 0), ann(2, 0, 0)],
-            1,
-            2,
-        );
+        filter.aggregate(&[ann(0, 0, 1), ann(1, 0, 0), ann(2, 0, 0)], 1, 2);
         assert!(filter.is_blacklisted(WorkerId(0)));
         // Now worker 0 is the only voter; the fallback must keep the item
         // labeled rather than returning uniform.

@@ -139,7 +139,11 @@ pub trait Aggregator: Send {
 pub(crate) fn validate_annotations(annotations: &[Annotation], items: usize, classes: usize) {
     assert!(classes > 0, "need at least one class");
     for a in annotations {
-        assert!(a.item < items, "annotation references item {} >= {items}", a.item);
+        assert!(
+            a.item < items,
+            "annotation references item {} >= {items}",
+            a.item
+        );
         assert!(
             a.label < classes,
             "annotation label {} >= {classes}",

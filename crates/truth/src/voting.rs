@@ -85,6 +85,8 @@ mod tests {
     fn empty_input_yields_all_uniform() {
         let estimates = MajorityVoting.aggregate(&[], 3, 2);
         assert_eq!(estimates.len(), 3);
-        assert!(estimates.iter().all(|e| (e.confidence() - 0.5).abs() < 1e-12));
+        assert!(estimates
+            .iter()
+            .all(|e| (e.confidence() - 0.5).abs() < 1e-12));
     }
 }

@@ -50,11 +50,19 @@ fn main() {
                     "  {} [{}{}] truth={:<15} -> {:<15} {} {}",
                     img.image,
                     record.attribute(),
-                    if record.is_ambiguous() { ", ambiguous" } else { "" },
+                    if record.is_ambiguous() {
+                        ", ambiguous"
+                    } else {
+                        ""
+                    },
                     record.truth().to_string(),
                     img.predicted.to_string(),
                     if img.queried { "(crowd)" } else { "(AI)" },
-                    if img.predicted == img.truth { "ok" } else { "WRONG" },
+                    if img.predicted == img.truth {
+                        "ok"
+                    } else {
+                        "WRONG"
+                    },
                 );
             }
 

@@ -12,8 +12,8 @@
 //! mean response delay each achieves.
 
 use crowdlearn_bandit::{
-    BanditConfig, CostedBandit, EpsilonGreedy, Exp3, FixedPolicy, RandomPolicy,
-    ThompsonSampling, UcbAlp,
+    BanditConfig, CostedBandit, EpsilonGreedy, Exp3, FixedPolicy, RandomPolicy, ThompsonSampling,
+    UcbAlp,
 };
 use crowdlearn_crowd::{IncentiveLevel, PilotConfig, PilotStudy, Platform, PlatformConfig};
 use crowdlearn_dataset::{Dataset, DatasetConfig, SyntheticImage, TemporalContext};

@@ -93,7 +93,11 @@ fn compare(dataset: &Dataset, platform: &mut Platform) {
 
     println!("{:<22} {:>9}", "scheme", "accuracy");
     println!("{:<22} {:>9.3}", "CQC (GBDT + evidence)", cqc_acc);
-    println!("{:<22} {:>9.3}", "majority voting", accuracy_of(&mut MajorityVoting));
+    println!(
+        "{:<22} {:>9.3}",
+        "majority voting",
+        accuracy_of(&mut MajorityVoting)
+    );
     println!(
         "{:<22} {:>9.3}",
         "Dawid-Skene EM",
@@ -102,7 +106,11 @@ fn compare(dataset: &Dataset, platform: &mut Platform) {
     // Give filtering a history pass first (it is useless without history).
     let mut filtering = WorkerFiltering::paper_default();
     let _ = filtering.aggregate(&annotations, eval.len(), DamageLabel::COUNT);
-    println!("{:<22} {:>9.3}", "worker filtering", accuracy_of(&mut filtering));
+    println!(
+        "{:<22} {:>9.3}",
+        "worker filtering",
+        accuracy_of(&mut filtering)
+    );
 
     // Peek at what filtering learned.
     let blacklisted: Vec<WorkerId> = platform

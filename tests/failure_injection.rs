@@ -14,10 +14,8 @@ use crowdlearn_truth::WorkerId;
 fn zero_budget_still_labels_everything() {
     let dataset = Dataset::generate(&DatasetConfig::paper());
     let stream = SensingCycleStream::paper(&dataset);
-    let mut system = CrowdLearnSystem::new(
-        &dataset,
-        CrowdLearnConfig::paper().with_budget_cents(0.0),
-    );
+    let mut system =
+        CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper().with_budget_cents(0.0));
     let report = system.run(&dataset, &stream);
     assert_eq!(report.confusion.total(), 400);
     assert_eq!(report.spent_cents, 0);
@@ -109,7 +107,12 @@ fn committee_is_confidently_fooled_by_handcrafted_fakes() {
         assert!(vote.max_prob() > 0.8, "{}: {vote}", expert.name());
         // And the entropy must be LOW — the failure QSS's entropy ranking
         // cannot see, motivating epsilon-greedy.
-        assert!(vote.entropy() < 0.4, "{}: entropy {}", expert.name(), vote.entropy());
+        assert!(
+            vote.entropy() < 0.4,
+            "{}: entropy {}",
+            expert.name(),
+            vote.entropy()
+        );
     }
 }
 

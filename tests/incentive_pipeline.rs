@@ -14,10 +14,8 @@ fn adaptive_policy_beats_fixed_with_statistical_confidence() {
     let stream = SensingCycleStream::paper(&dataset);
 
     let run = |policy: IncentivePolicyKind| {
-        let mut system = CrowdLearnSystem::new(
-            &dataset,
-            CrowdLearnConfig::paper().with_policy(policy),
-        );
+        let mut system =
+            CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper().with_policy(policy));
         let report = system.run(&dataset, &stream);
         report.crowd_delay.samples().to_vec()
     };
@@ -42,13 +40,8 @@ fn the_bandit_learns_the_contextual_structure() {
     // incentives [when] the crowd is less responsive").
     let dataset = Dataset::generate(&DatasetConfig::paper());
     let mut platform = Platform::new(PlatformConfig::paper().with_seed(0x1bd));
-    let config = BanditConfig::new(
-        TemporalContext::COUNT,
-        IncentiveLevel::costs(),
-        1000.0,
-        200,
-    )
-    .with_context_distribution(vec![0.25; TemporalContext::COUNT]);
+    let config = BanditConfig::new(TemporalContext::COUNT, IncentiveLevel::costs(), 1000.0, 200)
+        .with_context_distribution(vec![0.25; TemporalContext::COUNT]);
     let mut bandit = UcbAlp::new(config, 5);
 
     // Warm up.
@@ -69,7 +62,9 @@ fn the_bandit_learns_the_contextual_structure() {
     let mut counts = [0usize; TemporalContext::COUNT];
     for round in 0..200usize {
         let ctx = TemporalContext::from_index(round % 4);
-        let Some(a) = bandit.select(ctx.index()) else { break };
+        let Some(a) = bandit.select(ctx.index()) else {
+            break;
+        };
         let level = IncentiveLevel::from_index(a);
         let img = &dataset.test()[round % dataset.test().len()];
         let r = platform.submit(img, level, ctx);

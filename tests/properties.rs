@@ -1,6 +1,8 @@
 //! Cross-crate property-based tests (proptest) over the public APIs.
 
-use crowdlearn_bandit::{BanditConfig, CostedBandit, EpsilonGreedy, FixedPolicy, RandomPolicy, UcbAlp};
+use crowdlearn_bandit::{
+    BanditConfig, CostedBandit, EpsilonGreedy, FixedPolicy, RandomPolicy, UcbAlp,
+};
 use crowdlearn_classifiers::ClassDistribution;
 use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig};
 use crowdlearn_metrics::{wilcoxon_signed_rank, ConfusionMatrix, RocCurve, SummaryStats};

@@ -106,7 +106,10 @@ fn cqc_distributions_are_sharper_and_better_calibrated_than_voting() {
     );
 
     let cqc_ece = CalibrationReport::from_scores(&cqc_scores, &truths, 10).ece();
-    assert!(cqc_ece < 0.15, "CQC must be reasonably calibrated: ECE {cqc_ece:.3}");
+    assert!(
+        cqc_ece < 0.15,
+        "CQC must be reasonably calibrated: ECE {cqc_ece:.3}"
+    );
 }
 
 #[test]
@@ -130,9 +133,7 @@ fn repeated_queries_of_the_same_image_vary_but_agree_on_easy_truth() {
     let easy = dataset
         .test()
         .iter()
-        .find(|i| {
-            i.attribute() == crowdlearn_dataset::ImageAttribute::Plain && !i.is_ambiguous()
-        })
+        .find(|i| i.attribute() == crowdlearn_dataset::ImageAttribute::Plain && !i.is_ambiguous())
         .expect("plain image exists");
     let mut platform = Platform::new(PlatformConfig::paper().with_seed(0x9a44));
     let cqc = QualityController::paper(); // voting fallback is fine here
@@ -142,5 +143,8 @@ fn repeated_queries_of_the_same_image_vary_but_agree_on_easy_truth() {
         labels.push(cqc.truthful_label(&resp));
     }
     let agreeing = labels.iter().filter(|&&l| l == easy.truth()).count();
-    assert!(agreeing >= 7, "easy image must aggregate stably: {labels:?}");
+    assert!(
+        agreeing >= 7,
+        "easy image must aggregate stably: {labels:?}"
+    );
 }

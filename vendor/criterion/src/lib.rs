@@ -1,0 +1,174 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the API surface the workspace's micro benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`] / [`criterion_main!`] —
+//! backed by a simple wall-clock loop: a short warm-up, then `sample_size`
+//! timed samples whose median ns/iter is printed. No statistics engine, no
+//! HTML reports; enough to compare hot paths run-to-run. When invoked by
+//! `cargo test` (arguments containing `--test`), benches are executed for a
+//! single iteration each, keeping the test suite fast.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortizes setup cost. The stand-in times
+/// each batch individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; fewer iterations).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The per-benchmark timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    nanos_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let nanos = start.elapsed().as_nanos() as f64 / self.iters as f64;
+        self.nanos_per_iter.push(nanos);
+    }
+
+    /// Times `routine` over per-iteration inputs built by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total_nanos = 0.0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_nanos += start.elapsed().as_nanos() as f64;
+        }
+        self.nanos_per_iter.push(total_nanos / self.iters as f64);
+    }
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upstream parses CLI filters here; the stand-in only detects
+    /// `--test` (already done in [`Criterion::default`]).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its median ns/iter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let (samples, iters) = if self.test_mode {
+            (1, 1)
+        } else {
+            (self.sample_size, 3)
+        };
+        let mut bencher = Bencher {
+            iters,
+            nanos_per_iter: Vec::with_capacity(samples),
+        };
+        for _ in 0..samples {
+            f(&mut bencher);
+        }
+        let mut nanos = bencher.nanos_per_iter;
+        nanos.sort_by(|a, b| a.total_cmp(b));
+        let median = nanos.get(nanos.len() / 2).copied().unwrap_or(f64::NAN);
+        if self.test_mode {
+            println!("bench {name}: ok (test mode)");
+        } else {
+            println!(
+                "bench {name}: median {median:.0} ns/iter over {} samples",
+                nanos.len()
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group function (upstream-compatible syntax).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut runs = 0u32;
+        c.bench_function("touch", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut sum = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |v| sum += v, BatchSize::SmallInput)
+        });
+        assert!(sum >= 21);
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` throughout so its data
+//! types stay serialization-ready, but no code path actually encodes to a
+//! wire format (there is no `serde_json` in the hermetic build). This facade
+//! therefore reduces both traits to markers: deriving them documents intent
+//! and keeps the public API source-compatible with upstream serde, at zero
+//! dependency cost. Swapping back to real serde is a one-line change in the
+//! workspace manifest.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that are serialization-ready.
+///
+/// Upstream: `serde::Serialize`. The vendored facade carries no methods —
+/// see the crate docs.
+pub trait Serialize {}
+
+/// Marker for types that are deserialization-ready.
+///
+/// Upstream: `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,101 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` facade reduces `Serialize`/`Deserialize` to marker
+//! traits (no wire format is needed in this hermetic workspace), so the
+//! derives only have to name the type being derived for and emit an empty
+//! impl. The input is scanned token-by-token — no `syn`/`quote`, which are
+//! unavailable offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the derived type's name and its generic parameter *names*
+/// (lifetimes and type idents, bounds stripped) from the item tokens.
+fn type_header(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, doc comments, visibility — stop at `struct`/`enum`.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("derive input has no type name (found {other:?})"),
+    };
+
+    // Collect generic parameter names from `<...>`, if present.
+    let mut params = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        let mut lifetime = false;
+        for tt in tokens {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                    lifetime = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && at_param_start => {
+                    lifetime = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                    at_param_start = false;
+                }
+                TokenTree::Ident(ident) if depth == 1 && at_param_start => {
+                    let word = ident.to_string();
+                    if word != "const" {
+                        params.push(if lifetime { format!("'{word}") } else { word });
+                        at_param_start = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (name, params)
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, extra_param: Option<&str>) -> TokenStream {
+    let (name, params) = type_header(input);
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(extra) = extra_param {
+        impl_params.push(extra.to_string());
+    }
+    impl_params.extend(params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let type_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    format!("impl{impl_generics} {trait_path} for {name}{type_generics} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the vendored marker `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", None)
+}
+
+/// Derives the vendored marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'de>", Some("'de"))
+}
