@@ -12,6 +12,9 @@ cargo fmt --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> detlint (determinism & hygiene, rules D1-D6)"
+cargo run -q -p detlint --offline
+
 echo "==> cargo build --release"
 cargo build --release --offline
 

@@ -35,6 +35,10 @@
 //! assert!(bandit.remaining_budget() < 100.0);
 //! ```
 
+//! Determinism: a simulation crate under `detlint` rules D1-D6 (DESIGN.md
+//! "Determinism invariants") — BTree collections only, virtual time only,
+//! seeded RNG only.
+//!
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

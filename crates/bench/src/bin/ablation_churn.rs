@@ -7,6 +7,8 @@
 //! while CQC — which models the *response*, not the *worker* — is
 //! unaffected.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::QualityController;
 use crowdlearn_bench::{banner, Fixture};
 use crowdlearn_crowd::{IncentiveLevel, Platform, PlatformConfig, QueryResponse};

@@ -8,6 +8,8 @@
 //! as the disaster unfolds — and shows that the paper's design choice pays
 //! off exactly when the committee's relative reliability is non-stationary.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::{CalibratorConfig, CrowdLearnConfig, CrowdLearnSystem};
 use crowdlearn_bench::banner;
 use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};

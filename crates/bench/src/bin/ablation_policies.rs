@@ -6,6 +6,8 @@
 //! each cell's true expected payoff — separating "learned the surface" from
 //! "got lucky with the budget".
 
+#![forbid(unsafe_code)]
+
 use crowdlearn_bandit::{
     BanditConfig, CostedBandit, EpsilonGreedy, Exp3, FixedPolicy, RandomPolicy, RegretTracker,
     ThompsonSampling, UcbAlp,

@@ -13,6 +13,8 @@
 //!   the boosting model only the vote histogram (CQC degrades toward
 //!   majority voting, §IV-C).
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::{
     CalibratorConfig, CrowdLearnConfig, CrowdLearnSystem, IncentivePolicyKind, QueryFeatures,
 };

@@ -3,6 +3,8 @@
 //! output (and the shape assertions), run the dedicated binaries listed in
 //! EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
 use crowdlearn_bench::{banner, paper_reference, Fixture};
 use crowdlearn_crowd::{PilotConfig, PilotStudy, Platform, PlatformConfig};

@@ -2,6 +2,8 @@
 //! metric across dataset/scheme seeds, so simulator constants can be tuned
 //! against means instead of single-run noise.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn_bench::Fixture;
 use crowdlearn_metrics::SummaryStats;
 

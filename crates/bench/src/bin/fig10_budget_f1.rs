@@ -1,6 +1,8 @@
 //! Regenerates **Figure 10**: total crowd budget (2..40 USD) vs CrowdLearn's
 //! classification F1 — rising sharply at low budgets, then plateauing.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
 use crowdlearn_bench::{banner, Fixture};
 use crowdlearn_runtime::ParallelSweep;

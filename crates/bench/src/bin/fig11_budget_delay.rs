@@ -1,6 +1,8 @@
 //! Regenerates **Figure 11**: total crowd budget (2..40 USD) vs CrowdLearn's
 //! crowd response delay — falling sharply, then plateauing.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
 use crowdlearn_bench::{banner, Fixture};
 use crowdlearn_runtime::ParallelSweep;

@@ -2,6 +2,8 @@
 //! level, one series per temporal context (7 incentives × 4 contexts ×
 //! 100 HITs).
 
+#![forbid(unsafe_code)]
+
 use crowdlearn_bench::{banner, Fixture};
 use crowdlearn_crowd::{IncentiveLevel, PilotConfig, PilotStudy, Platform, PlatformConfig};
 use crowdlearn_dataset::{SyntheticImage, TemporalContext};

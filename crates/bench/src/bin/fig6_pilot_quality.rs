@@ -2,6 +2,8 @@
 //! including the paper's Wilcoxon significance analysis between adjacent
 //! levels (none of the mid-range steps should be significant).
 
+#![forbid(unsafe_code)]
+
 use crowdlearn_bench::{banner, Fixture};
 use crowdlearn_crowd::{IncentiveLevel, PilotConfig, PilotStudy, Platform, PlatformConfig};
 use crowdlearn_dataset::SyntheticImage;

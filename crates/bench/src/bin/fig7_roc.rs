@@ -1,6 +1,8 @@
 //! Regenerates **Figure 7**: macro-average one-vs-rest ROC curves for all
 //! seven schemes, printed as AUC plus a sampled curve.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn_bench::{banner, paper_reference, Fixture};
 
 fn main() {

@@ -1,6 +1,8 @@
 //! Regenerates **Figure 8**: crowd delay at different temporal contexts for
 //! the CCMB incentive policy vs the fixed-maximum and random baselines.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem, IncentivePolicyKind};
 use crowdlearn_bench::{banner, Fixture};
 use crowdlearn_dataset::TemporalContext;

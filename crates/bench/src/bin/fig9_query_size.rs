@@ -2,6 +2,8 @@
 //! classification F1 for CrowdLearn, Hybrid-AL, Hybrid-Para, and the
 //! Ensemble reference line.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::baselines::{run_ai_only, HybridAl, HybridConfig, HybridPara};
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
 use crowdlearn_bench::{banner, Fixture};

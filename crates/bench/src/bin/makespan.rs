@@ -6,6 +6,8 @@
 //! point is how much of the crowd latency the pipeline hides, not how fast
 //! the simulator itself runs.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
 use crowdlearn_bench::{banner, Fixture};
 use crowdlearn_runtime::{blocking_makespan_secs, PipelinedSystem, RuntimeConfig};

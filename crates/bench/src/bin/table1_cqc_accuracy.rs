@@ -6,6 +6,8 @@
 //! were answered in. CQC is trained on training-split responses exactly as
 //! the live system trains it.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn::QualityController;
 use crowdlearn_bench::{banner, paper_reference, Fixture};
 use crowdlearn_crowd::{IncentiveLevel, Platform, PlatformConfig, QueryResponse};

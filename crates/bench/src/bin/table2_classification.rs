@@ -1,6 +1,8 @@
 //! Regenerates **Table II**: classification Accuracy / Precision / Recall /
 //! F1 for all seven schemes over the 40-cycle evaluation stream.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn_bench::{banner, paper_reference, Fixture};
 use crowdlearn_metrics::mcnemar_test;
 

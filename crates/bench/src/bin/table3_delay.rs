@@ -1,6 +1,8 @@
 //! Regenerates **Table III**: average algorithm delay and crowd delay per
 //! sensing cycle for all seven schemes.
 
+#![forbid(unsafe_code)]
+
 use crowdlearn_bench::{banner, paper_reference, Fixture};
 
 fn main() {

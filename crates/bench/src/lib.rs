@@ -19,6 +19,10 @@
 //! cargo run --release -p crowdlearn-bench --bin all_experiments  # digest
 //! ```
 
+//! Determinism: `detlint`-checked (DESIGN.md "Determinism invariants");
+//! the one crate exempt from the wall-clock rule D2 — timing harnesses
+//! measure real elapsed time by design.
+//!
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

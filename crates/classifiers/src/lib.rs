@@ -35,6 +35,10 @@
 //! assert!((vote.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
 //! ```
 
+//! Determinism: a simulation crate under `detlint` rules D1-D6 (DESIGN.md
+//! "Determinism invariants") — BTree collections only, virtual time only,
+//! seeded RNG only.
+//!
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

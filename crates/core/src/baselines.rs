@@ -179,7 +179,7 @@ impl HybridAl {
                 distributions[b]
                     .entropy()
                     .partial_cmp(&distributions[a].entropy())
-                    .expect("finite entropies")
+                    .expect("invariant: class-distribution entropies are finite")
             });
 
             // Query the top-uncertainty images at the fixed incentive.

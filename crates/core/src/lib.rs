@@ -38,6 +38,10 @@
 //! println!("accuracy = {:.3}", report.confusion.accuracy());
 //! ```
 
+//! Determinism: a simulation crate under `detlint` rules D1-D6 (DESIGN.md
+//! "Determinism invariants"), including D4 — library code must surface
+//! errors or state its `expect` invariant, never panic mid-cycle.
+//!
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -63,7 +63,7 @@ impl QuerySetSelector {
         s_list.sort_by(|&a, &b| {
             entropies[b]
                 .partial_cmp(&entropies[a])
-                .expect("no NaN entropies")
+                .expect("invariant: entropies are asserted non-NaN on entry")
         });
 
         let take = count.min(s_list.len());

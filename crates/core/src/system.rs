@@ -832,7 +832,10 @@ mod tests {
         assert!((mean - report.accuracy()).abs() < 1e-9);
         // Spend pacing reconciles with the report.
         assert_eq!(
-            *trace.cumulative_spend_cents().last().unwrap(),
+            *trace
+                .cumulative_spend_cents()
+                .last()
+                .expect("trace covers at least one cycle"),
             report.spent_cents
         );
         assert_eq!(trace.windowed_accuracy(5).len(), 40);

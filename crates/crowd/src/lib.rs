@@ -50,6 +50,10 @@
 //! assert!(response.completion_delay_secs > 0.0);
 //! ```
 
+//! Determinism: a simulation crate under `detlint` rules D1-D6 (DESIGN.md
+//! "Determinism invariants") — BTree collections only, virtual time only,
+//! seeded RNG only.
+//!
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

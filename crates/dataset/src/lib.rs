@@ -31,6 +31,10 @@
 //! assert_eq!(dataset.test().len(), 400);
 //! ```
 
+//! Determinism: a simulation crate under `detlint` rules D1-D6 (DESIGN.md
+//! "Determinism invariants") — BTree collections only, virtual time only,
+//! seeded RNG only.
+//!
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

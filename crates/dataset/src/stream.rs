@@ -229,7 +229,7 @@ mod tests {
     fn cycles_cover_disjoint_test_images() {
         let ds = dataset();
         let stream = SensingCycleStream::paper(&ds);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for c in stream.cycles() {
             for id in &c.image_ids {
                 assert!(seen.insert(*id), "image {id} appears in two cycles");

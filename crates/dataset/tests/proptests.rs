@@ -91,7 +91,7 @@ proptest! {
         );
         prop_assume!(cycles * per_cycle <= ds.test().len());
         let stream = SensingCycleStream::new(&ds, cycles, per_cycle);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for c in stream.cycles() {
             prop_assert_eq!(c.image_ids.len(), per_cycle);
             for id in &c.image_ids {

@@ -1,0 +1,82 @@
+//! CLI for the determinism & hygiene lint pass.
+//!
+//! ```text
+//! detlint [--root DIR] [--config FILE] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings reported, 2 usage/config/I-O error. CI
+//! runs this (offline) between clippy and the build, so a violation can
+//! never reach the golden tests.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--config" => match args.next() {
+                Some(file) => config_path = Some(PathBuf::from(file)),
+                None => return usage_error("--config requires a file"),
+            },
+            "--list-rules" => {
+                for rule in detlint::Rule::ALL {
+                    println!("{}/{}: {}", rule.code(), rule.name(), rule.help());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "detlint — workspace determinism & hygiene lints (D1-D6)\n\n\
+                     USAGE: detlint [--root DIR] [--config FILE] [--json] [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let explicit_config = config_path.is_some();
+    let config_file = config_path.unwrap_or_else(|| root.join("detlint.toml"));
+    let config = if config_file.is_file() {
+        match std::fs::read_to_string(&config_file) {
+            Ok(text) => match detlint::Config::parse(&text) {
+                Ok(cfg) => cfg,
+                Err(e) => return usage_error(&e),
+            },
+            Err(e) => return usage_error(&format!("{}: {e}", config_file.display())),
+        }
+    } else if explicit_config {
+        return usage_error(&format!("config file {} not found", config_file.display()));
+    } else {
+        detlint::Config::default()
+    };
+
+    match detlint::scan_workspace(&root, &config) {
+        Ok(report) => {
+            if json {
+                println!("{}", detlint::render_json(&report));
+            } else {
+                print!("{}", detlint::render_text(&report));
+            }
+            ExitCode::from(report.exit_code() as u8)
+        }
+        Err(e) => usage_error(&format!("scan failed: {e}")),
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("detlint: {message}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,192 @@
+//! Fixture-driven end-to-end tests: one good and one bad fixture per rule,
+//! exact diagnostic locations and JSON output, the allow escape hatch, and
+//! the CI gating contract (non-zero exit on a seeded violation; the shipped
+//! workspace itself scans clean).
+
+use detlint::{
+    lint_source, render_json, render_text, scan_workspace, Config, FileKind, Report, Rule,
+};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn lint_fixture(name: &str, krate: &str, kind: FileKind) -> (Vec<detlint::Finding>, usize) {
+    lint_source(&fixture(name), name, krate, kind, &Config::default())
+}
+
+#[test]
+fn d1_hash_order_bad_fixture_reports_every_site() {
+    let (findings, _) = lint_fixture("d1_bad.rs", "truth", FileKind::Source);
+    let spots: Vec<(usize, usize)> = findings.iter().map(|f| (f.line, f.column)).collect();
+    assert_eq!(spots, [(1, 23), (3, 33), (4, 22)]);
+    assert!(findings.iter().all(|f| f.rule == Rule::HashOrder));
+}
+
+#[test]
+fn d1_good_fixture_is_clean() {
+    let (findings, _) = lint_fixture("d1_good.rs", "truth", FileKind::Source);
+    assert_eq!(findings, []);
+}
+
+#[test]
+fn d1_justified_allows_suppress_and_are_counted() {
+    let (findings, suppressed) = lint_fixture("d1_allowed.rs", "truth", FileKind::Source);
+    assert_eq!(findings, []);
+    assert_eq!(suppressed, 2);
+}
+
+#[test]
+fn d2_wall_clock_bad_and_good_fixtures() {
+    let (findings, _) = lint_fixture("d2_bad.rs", "runtime", FileKind::Source);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, Rule::WallClock);
+    assert_eq!((findings[0].line, findings[0].column), (2, 28));
+    // The bench crate is exempt by scope.
+    let (exempt, _) = lint_fixture("d2_bad.rs", "bench", FileKind::Source);
+    assert_eq!(exempt, []);
+    let (good, _) = lint_fixture("d2_good.rs", "runtime", FileKind::Source);
+    assert_eq!(good, []);
+}
+
+#[test]
+fn d3_entropy_rng_bad_and_good_fixtures() {
+    let (findings, _) = lint_fixture("d3_bad.rs", "crowd", FileKind::Source);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, Rule::EntropyRng);
+    assert_eq!((findings[0].line, findings[0].column), (2, 25));
+    let (good, _) = lint_fixture("d3_good.rs", "crowd", FileKind::Source);
+    assert_eq!(good, []);
+}
+
+#[test]
+fn d4_panic_paths_bad_and_good_fixtures() {
+    let (findings, _) = lint_fixture("d4_bad.rs", "core", FileKind::Source);
+    let rules: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, [Rule::PanicPaths, Rule::PanicPaths]);
+    assert_eq!(
+        findings
+            .iter()
+            .map(|f| (f.line, f.column))
+            .collect::<Vec<_>>(),
+        [(2, 31), (3, 29)]
+    );
+    // Outside the panic-paths scope nothing fires.
+    let (out_of_scope, _) = lint_fixture("d4_bad.rs", "metrics", FileKind::Source);
+    assert_eq!(out_of_scope, []);
+    // The good fixture states the invariant (wrapped across lines by fmt).
+    let (good, _) = lint_fixture("d4_good.rs", "core", FileKind::Source);
+    assert_eq!(good, []);
+}
+
+#[test]
+fn d5_forbid_unsafe_bad_and_good_fixtures() {
+    let (findings, _) = lint_fixture("d5_bad.rs", "gbdt", FileKind::Root);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, Rule::ForbidUnsafe);
+    let (good, _) = lint_fixture("d5_good.rs", "gbdt", FileKind::Root);
+    assert_eq!(good, []);
+}
+
+#[test]
+fn d6_ambient_env_bad_and_good_fixtures() {
+    let (findings, _) = lint_fixture("d6_bad.rs", "dataset", FileKind::Source);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, Rule::AmbientEnv);
+    assert_eq!((findings[0].line, findings[0].column), (2, 10));
+    let (good, _) = lint_fixture("d6_good.rs", "dataset", FileKind::Source);
+    assert_eq!(good, []);
+}
+
+#[test]
+fn text_diagnostics_are_rustc_style() {
+    let (findings, suppressed) = lint_fixture("d6_bad.rs", "dataset", FileKind::Source);
+    let report = Report {
+        findings,
+        files_scanned: 1,
+        suppressed,
+    };
+    let expected = "\
+error[D6/ambient-env]: `env::var` read in simulation crate `dataset`: ambient state breaks seeded re-runs
+ --> d6_bad.rs:2:10
+  |
+2 |     std::env::var(\"CROWDLEARN_DEBUG\").is_ok()
+  |          ^^^^^^^^
+  = help: thread configuration through explicit Config structs, not env vars
+
+detlint: 1 finding(s), 0 suppressed by justified allows, 1 file(s) scanned
+";
+    assert_eq!(render_text(&report), expected);
+}
+
+#[test]
+fn json_output_is_exact_and_machine_readable() {
+    let (findings, suppressed) = lint_fixture("d5_bad.rs", "gbdt", FileKind::Root);
+    let report = Report {
+        findings,
+        files_scanned: 1,
+        suppressed,
+    };
+    let expected = concat!(
+        "{\"findings\":[{\"code\":\"D5\",\"rule\":\"forbid-unsafe\",",
+        "\"path\":\"d5_bad.rs\",\"line\":1,\"column\":1,",
+        "\"message\":\"crate root of `gbdt` does not `#![forbid(unsafe_code)]`\",",
+        "\"help\":\"add `#![forbid(unsafe_code)]` at the top of the crate root\"}],",
+        "\"files_scanned\":1,\"suppressed\":0}"
+    );
+    assert_eq!(render_json(&report), expected);
+}
+
+/// The CI contract: a workspace seeded with a violation makes the scan exit
+/// non-zero (`ci.sh` gates on this), and rule toggles in the config can
+/// stand the gate down.
+#[test]
+fn seeded_workspace_violation_gates_with_nonzero_exit() {
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    let report = scan_workspace(&ws, &Config::default()).expect("fixture workspace scans");
+    let rules: Vec<Rule> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        [Rule::ForbidUnsafe, Rule::HashOrder, Rule::HashOrder],
+        "seeded HashMap + missing forbid must both fire: {:?}",
+        report.findings
+    );
+    assert_eq!(report.exit_code(), 1);
+    assert_eq!(report.files_scanned, 1);
+
+    // Disabling the rules stands the gate down.
+    let relaxed = Config::parse("[rules]\nhash-order = false\nforbid-unsafe = false\n")
+        .expect("valid config");
+    let report = scan_workspace(&ws, &relaxed).expect("fixture workspace scans");
+    assert_eq!(report.exit_code(), 0);
+}
+
+/// The shipped workspace must scan clean with the shipped config — this is
+/// the same invocation `ci.sh` gates on.
+#[test]
+fn shipped_workspace_scans_clean_with_shipped_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let config_text =
+        std::fs::read_to_string(root.join("detlint.toml")).expect("detlint.toml is shipped");
+    let config = Config::parse(&config_text).expect("shipped config parses");
+    let report = scan_workspace(&root, &config).expect("workspace scans");
+    assert_eq!(
+        report.findings,
+        [],
+        "the shipped workspace must have zero detlint findings:\n{}",
+        render_text(&report)
+    );
+    assert!(
+        report.files_scanned > 100,
+        "workspace walk found the crates"
+    );
+}

@@ -1,0 +1,9 @@
+// detlint: allow(hash-order): keys are drained through a sorted Vec below
+use std::collections::HashMap;
+
+// detlint: allow(hash-order): sorted immediately after collection
+pub fn sorted(m: HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> = m.into_iter().collect();
+    v.sort();
+    v
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn count(words: &[&str]) -> HashMap<&str, usize> {
+    let mut counts = HashMap::new();
+    for w in words {
+        *counts.entry(*w).or_insert(0) += 1;
+    }
+    counts
+}

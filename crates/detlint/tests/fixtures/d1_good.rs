@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn count(words: &[&str]) -> BTreeMap<&str, usize> {
+    let mut counts = BTreeMap::new();
+    for w in words {
+        *counts.entry(*w).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,4 @@
+pub fn stamp() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}

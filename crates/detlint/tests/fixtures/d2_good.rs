@@ -1,0 +1,3 @@
+pub fn stamp(clock_secs: f64) -> f64 {
+    clock_secs + 1.0
+}

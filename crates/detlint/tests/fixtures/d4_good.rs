@@ -1,0 +1,7 @@
+pub fn pick(values: &[u32]) -> Option<u32> {
+    let first = values.first()?;
+    let last = values
+        .last()
+        .expect("invariant: first() succeeded, so the slice is non-empty");
+    Some(first + last)
+}

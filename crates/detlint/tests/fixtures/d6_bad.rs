@@ -1,0 +1,3 @@
+pub fn debug_enabled() -> bool {
+    std::env::var("CROWDLEARN_DEBUG").is_ok()
+}

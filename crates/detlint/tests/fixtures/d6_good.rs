@@ -1,0 +1,7 @@
+pub struct Options {
+    pub debug: bool,
+}
+
+pub fn debug_enabled(options: &Options) -> bool {
+    options.debug
+}

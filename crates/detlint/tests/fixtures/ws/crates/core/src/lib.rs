@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn sizes(m: &HashMap<u32, Vec<u32>>) -> Vec<usize> {
+    m.values().map(Vec::len).collect()
+}

@@ -35,6 +35,9 @@
 //! assert!(cm.macro_f1() > 0.0);
 //! ```
 
+//! Determinism: `detlint`-checked (DESIGN.md "Determinism invariants") —
+//! metric folds must not depend on any nondeterministic iteration order.
+//!
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

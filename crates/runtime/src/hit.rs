@@ -83,7 +83,7 @@ impl HitBoard {
     pub fn take(&mut self, id: HitId) -> InFlightHit {
         self.inflight
             .remove(&id)
-            .expect("HIT resolved twice or never posted")
+            .expect("invariant: a HIT is resolved twice or was never posted")
     }
 
     /// HITs currently in flight.

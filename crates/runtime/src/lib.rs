@@ -35,6 +35,10 @@
 //! arithmetic, and cut the virtual-time makespan by overlapping crowd
 //! waits (`crowdlearn-bench --bin makespan` quantifies it).
 
+//! Determinism: a simulation crate under `detlint` rules D1-D6 (DESIGN.md
+//! "Determinism invariants"), including D4 — library code must surface
+//! errors or state its `expect` invariant, never panic mid-cycle.
+//!
 #![forbid(unsafe_code)]
 
 mod clock;

@@ -174,7 +174,7 @@ impl Driver<'_> {
                     let work = self
                         .active
                         .remove(&cycle)
-                        .expect("RetrainDone for a cycle that is not active");
+                        .expect("invariant: RetrainDone only fires for an active cycle");
                     let outcome =
                         self.system
                             .finalize_cycle(work, &self.cycles[cycle], self.dataset);
@@ -191,7 +191,9 @@ impl Driver<'_> {
         let outcomes: Vec<CycleOutcome> = self
             .outcomes
             .into_iter()
-            .map(|o| o.expect("cycle never finalized"))
+            .map(|o| {
+                o.expect("invariant: every admitted cycle is finalized before the queue drains")
+            })
             .collect();
         let mut report = SchemeReport::new("CrowdLearn (pipelined)");
         for outcome in &outcomes {
@@ -232,7 +234,10 @@ impl Driver<'_> {
     /// nothing is outstanding — closes the cycle out.
     fn post_or_finalize(&mut self, k: usize) {
         let now = self.clock.now_secs();
-        let work = self.active.get_mut(&k).expect("cycle not active");
+        let work = self
+            .active
+            .get_mut(&k)
+            .expect("invariant: HIT events only target active cycles");
         match self
             .system
             .post_next_query(work, &self.cycles[k], self.dataset)
@@ -280,7 +285,10 @@ impl Driver<'_> {
         debug_assert_eq!(inflight.cycle, k);
         let response = inflight.pending.into_response();
         let timely = self.system.answer_is_timely(&response);
-        let work = self.active.get_mut(&k).expect("cycle not active");
+        let work = self
+            .active
+            .get_mut(&k)
+            .expect("invariant: HIT events only target active cycles");
         self.system
             .absorb_answer(work, inflight.image_index, &response, timely);
         self.post_or_finalize(k);
@@ -297,11 +305,14 @@ impl Driver<'_> {
         let timeout = self
             .config
             .hit_timeout_secs
-            .expect("HitTimedOut without a timeout configured");
+            .expect("invariant: HitTimedOut is only scheduled when a timeout is configured");
         let inflight = self.board.take(hit);
         debug_assert_eq!(inflight.cycle, k);
         let now = self.clock.now_secs();
-        let work = self.active.get_mut(&k).expect("cycle not active");
+        let work = self
+            .active
+            .get_mut(&k)
+            .expect("invariant: HIT events only target active cycles");
 
         if inflight.attempt < self.config.max_post_attempts {
             let level = if self.config.escalate_on_repost {
@@ -338,7 +349,10 @@ impl Driver<'_> {
 
         // Out of attempts (or budget): wait the expired HIT out after all.
         let response = inflight.pending.into_response();
-        let work = self.active.get_mut(&k).expect("cycle not active");
+        let work = self
+            .active
+            .get_mut(&k)
+            .expect("invariant: HIT events only target active cycles");
         self.system
             .absorb_answer(work, inflight.image_index, &response, false);
         self.post_or_finalize(k);

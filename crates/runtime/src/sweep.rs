@@ -60,7 +60,10 @@ impl ParallelSweep {
                         break;
                     }
                     let result = run(i, &points[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    *slots[i]
+                        .lock()
+                        .expect("invariant: sweep workers never panic while holding a slot") =
+                        Some(result);
                 });
             }
         });
@@ -68,8 +71,8 @@ impl ParallelSweep {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("worker skipped a sweep point")
+                    .expect("invariant: sweep workers never panic while holding a slot")
+                    .expect("invariant: the cursor hands every sweep point to exactly one worker")
             })
             .collect()
     }

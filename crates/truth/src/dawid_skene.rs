@@ -10,7 +10,7 @@
 //! to categorical labels.
 
 use crate::{validate_annotations, Aggregator, Annotation, LabelEstimate, WorkerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration and state for Dawid-Skene EM truth discovery.
 ///
@@ -64,7 +64,7 @@ impl Default for DawidSkeneEm {
 #[derive(Debug, Clone, PartialEq)]
 pub struct DawidSkeneFit {
     /// Worker id → `matrix[truth][reported]` row-stochastic confusion matrix.
-    pub confusion: HashMap<WorkerId, Vec<Vec<f64>>>,
+    pub confusion: BTreeMap<WorkerId, Vec<Vec<f64>>>,
     /// Learned class prior.
     pub prior: Vec<f64>,
     /// EM iterations actually run.
@@ -84,7 +84,7 @@ impl DawidSkeneEm {
         validate_annotations(annotations, items, classes);
 
         // Dense worker indexing.
-        let mut worker_index: HashMap<WorkerId, usize> = HashMap::new();
+        let mut worker_index: BTreeMap<WorkerId, usize> = BTreeMap::new();
         for a in annotations {
             let next = worker_index.len();
             worker_index.entry(a.worker).or_insert(next);

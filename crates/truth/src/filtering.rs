@@ -5,7 +5,7 @@
 use crate::{
     validate_annotations, Aggregator, Annotation, LabelEstimate, MajorityVoting, WorkerId,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Majority voting over non-blacklisted workers, with worker quality learned
 /// from agreement history across successive `aggregate` calls.
@@ -21,7 +21,7 @@ pub struct WorkerFiltering {
     threshold: f64,
     min_history: usize,
     /// Worker → (agreements, total).
-    history: HashMap<WorkerId, (usize, usize)>,
+    history: BTreeMap<WorkerId, (usize, usize)>,
 }
 
 impl WorkerFiltering {
@@ -40,7 +40,7 @@ impl WorkerFiltering {
         Self {
             threshold,
             min_history,
-            history: HashMap::new(),
+            history: BTreeMap::new(),
         }
     }
 

@@ -8,7 +8,7 @@
 //! parameters per worker and degrades far more gracefully.
 
 use crate::{validate_annotations, Aggregator, Annotation, LabelEstimate, WorkerId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One-coin EM truth discovery.
 ///
@@ -60,11 +60,11 @@ impl OneCoinEm {
         annotations: &[Annotation],
         items: usize,
         classes: usize,
-    ) -> (Vec<LabelEstimate>, HashMap<WorkerId, f64>) {
+    ) -> (Vec<LabelEstimate>, BTreeMap<WorkerId, f64>) {
         validate_annotations(annotations, items, classes);
         let k = classes as f64;
 
-        let mut worker_index: HashMap<WorkerId, usize> = HashMap::new();
+        let mut worker_index: BTreeMap<WorkerId, usize> = BTreeMap::new();
         for a in annotations {
             let next = worker_index.len();
             worker_index.entry(a.worker).or_insert(next);

@@ -111,7 +111,7 @@ fn evaluation_spend_matches_report_and_budget() {
 fn every_streamed_image_receives_exactly_one_final_label() {
     let (dataset, stream) = fixture();
     let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for cycle in &stream {
         let outcome = system.run_cycle(cycle, &dataset);
         assert_eq!(outcome.images.len(), cycle.image_ids.len());

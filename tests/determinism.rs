@@ -1,0 +1,55 @@
+//! Same-seed-twice regression: the determinism invariant the detlint pass
+//! (DESIGN.md "Determinism invariants") exists to protect. Two runs of the
+//! same seeded pipeline must produce *byte-identical* reports — not merely
+//! equal summary statistics — so that any nondeterministic iteration order,
+//! wall-clock read, or entropy-seeded RNG that sneaks past review shows up
+//! as a hard test failure, label by label.
+
+use crowdlearn::CrowdLearnConfig;
+use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+use crowdlearn_runtime::{PipelinedSystem, RuntimeConfig, RuntimeReport};
+
+fn short_run(seed: u64) -> RuntimeReport {
+    let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(seed));
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+    let mut system = PipelinedSystem::new(
+        &dataset,
+        CrowdLearnConfig::paper(),
+        RuntimeConfig::paper().with_inflight_window(3),
+    );
+    system.run(&dataset, &stream)
+}
+
+#[test]
+fn same_seed_twice_is_byte_identical() {
+    let (a, b) = (short_run(7), short_run(7));
+
+    // Byte-for-byte: the full Debug rendering covers every field of the
+    // report, every cycle outcome, every per-image label and distribution,
+    // and every f64 exactly (Debug prints shortest round-trip form).
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "two same-seed runs rendered different reports"
+    );
+
+    // Make the label-level claim explicit too, so a diff pinpoints the
+    // first diverging image instead of a megabyte of Debug output.
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(oa, ob, "cycle {} diverged between same-seed runs", oa.cycle);
+    }
+    assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+    assert_eq!(a.events_processed, b.events_processed);
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guards the test above against vacuity (e.g. a run that ignores its
+    // seed entirely would trivially pass the byte-identity check).
+    let (a, b) = (short_run(7), short_run(8));
+    assert_ne!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "seed must reach the pipeline"
+    );
+}
