@@ -21,4 +21,7 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test -q --offline
 
+echo "==> checkpoint/resume roundtrip smoke"
+cargo run -q --release --offline --example checkpoint_resume
+
 echo "CI green."

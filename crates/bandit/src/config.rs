@@ -1,5 +1,6 @@
 //! Shared configuration and the bandit trait.
 
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// Static description of a constrained contextual bandit problem: the number
@@ -161,6 +162,57 @@ pub trait CostedBandit: Send {
 
     /// The problem description this policy was built for.
     fn config(&self) -> &BanditConfig;
+
+    /// The policy's full live state in serializable form, used by runtime
+    /// checkpoints. Policies without a serialized form return `None` (the
+    /// default), and a snapshot containing them fails with an explicit
+    /// error instead of panicking.
+    fn save_state(&self) -> Option<crate::PolicyState> {
+        None
+    }
+}
+
+// Snapshot codec: decoding re-checks the `new`/`with_context_distribution`
+// invariants and reports `Invalid` instead of panicking.
+impl Encode for BanditConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.contexts.encode(out);
+        self.action_costs.encode(out);
+        self.total_budget.encode(out);
+        self.horizon.encode(out);
+        self.context_distribution.encode(out);
+    }
+}
+
+impl Decode for BanditConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let config = Self {
+            contexts: usize::decode(r)?,
+            action_costs: Vec::<f64>::decode(r)?,
+            total_budget: f64::decode(r)?,
+            horizon: u64::decode(r)?,
+            context_distribution: Option::<Vec<f64>>::decode(r)?,
+        };
+        let mut valid = config.contexts > 0
+            && !config.action_costs.is_empty()
+            && config
+                .action_costs
+                .iter()
+                .all(|c| *c > 0.0 && c.is_finite())
+            && config.total_budget.is_finite()
+            && config.total_budget >= 0.0
+            && config.horizon > 0;
+        if let Some(dist) = &config.context_distribution {
+            valid = valid
+                && dist.len() == config.contexts
+                && dist.iter().all(|p| p.is_finite() && *p >= 0.0)
+                && (dist.iter().sum::<f64>() - 1.0).abs() < 1e-6;
+        }
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(config)
+    }
 }
 
 /// Shared budget ledger used by the policy implementations.

@@ -2,6 +2,7 @@
 //! ablations against [`crate::UcbAlp`].
 
 use crate::config::{BanditConfig, BudgetLedger, CostedBandit};
+use crate::state::{EpsilonGreedyState, PolicyState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,6 +51,20 @@ impl EpsilonGreedy {
             rounds_elapsed: 0,
             rng: StdRng::seed_from_u64(seed),
             config,
+        }
+    }
+
+    /// Rebuilds a policy from a decoded snapshot state (validated at decode
+    /// time); the restore path of [`PolicyState::into_bandit`].
+    pub(crate) fn from_state(s: EpsilonGreedyState) -> Self {
+        Self {
+            ledger: BudgetLedger::new(s.remaining_budget),
+            epsilon: s.epsilon,
+            counts: s.counts,
+            means: s.means,
+            rounds_elapsed: s.rounds_elapsed,
+            rng: StdRng::from_state(s.rng),
+            config: s.config,
         }
     }
 }
@@ -129,6 +144,18 @@ impl CostedBandit for EpsilonGreedy {
 
     fn config(&self) -> &BanditConfig {
         &self.config
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState::EpsilonGreedy(EpsilonGreedyState {
+            config: self.config.clone(),
+            remaining_budget: self.ledger.remaining(),
+            epsilon: self.epsilon,
+            counts: self.counts.clone(),
+            means: self.means.clone(),
+            rounds_elapsed: self.rounds_elapsed,
+            rng: self.rng.state(),
+        }))
     }
 }
 

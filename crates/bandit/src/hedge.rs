@@ -2,6 +2,7 @@
 //! update rule [Cesa-Bianchi & Lugosi]" that MIC uses for its dynamic expert
 //! weights (paper Section IV-D).
 
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// A Hedge learner over a fixed set of experts.
@@ -87,6 +88,37 @@ impl ExpWeights {
             }
         }
         self.rounds += 1;
+    }
+}
+
+// Snapshot codec: the normalized weight vector travels bit-exactly (no
+// re-normalization on decode); the invariant is only checked.
+impl Encode for ExpWeights {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.weights.encode(out);
+        self.eta.encode(out);
+        self.rounds.encode(out);
+    }
+}
+
+impl Decode for ExpWeights {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let weights = Vec::<f64>::decode(r)?;
+        let eta = f64::decode(r)?;
+        let rounds = u64::decode(r)?;
+        let valid = !weights.is_empty()
+            && weights.iter().all(|w| w.is_finite() && *w >= 0.0)
+            && (weights.iter().sum::<f64>() - 1.0).abs() < 1e-6
+            && eta.is_finite()
+            && eta > 0.0;
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            weights,
+            eta,
+            rounds,
+        })
     }
 }
 

@@ -48,6 +48,7 @@ mod exp3;
 mod hedge;
 mod regret;
 mod simple;
+mod state;
 mod thompson;
 mod ucb_alp;
 
@@ -57,5 +58,6 @@ pub use exp3::Exp3;
 pub use hedge::ExpWeights;
 pub use regret::RegretTracker;
 pub use simple::{FixedPolicy, RandomPolicy};
+pub use state::{EpsilonGreedyState, FixedState, PolicyState, RandomState, UcbAlpState};
 pub use thompson::ThompsonSampling;
 pub use ucb_alp::UcbAlp;

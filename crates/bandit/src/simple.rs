@@ -2,6 +2,7 @@
 //! for every query, and uniformly random incentive levels.
 
 use crate::config::{BanditConfig, BudgetLedger, CostedBandit};
+use crate::state::{FixedState, PolicyState, RandomState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,6 +51,16 @@ impl FixedPolicy {
     pub fn action(&self) -> usize {
         self.action
     }
+
+    /// Rebuilds a policy from a decoded snapshot state (validated at decode
+    /// time); the restore path of [`PolicyState::into_bandit`].
+    pub(crate) fn from_state(s: FixedState) -> Self {
+        Self {
+            ledger: BudgetLedger::new(s.remaining_budget),
+            action: s.action,
+            config: s.config,
+        }
+    }
 }
 
 impl CostedBandit for FixedPolicy {
@@ -88,6 +99,14 @@ impl CostedBandit for FixedPolicy {
     fn config(&self) -> &BanditConfig {
         &self.config
     }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState::Fixed(FixedState {
+            config: self.config.clone(),
+            remaining_budget: self.ledger.remaining(),
+            action: self.action,
+        }))
+    }
 }
 
 /// Plays a uniformly random affordable action each round.
@@ -105,6 +124,16 @@ impl RandomPolicy {
             ledger: BudgetLedger::new(config.total_budget()),
             rng: StdRng::seed_from_u64(seed),
             config,
+        }
+    }
+
+    /// Rebuilds a policy from a decoded snapshot state (validated at decode
+    /// time); the restore path of [`PolicyState::into_bandit`].
+    pub(crate) fn from_state(s: RandomState) -> Self {
+        Self {
+            ledger: BudgetLedger::new(s.remaining_budget),
+            rng: StdRng::from_state(s.rng),
+            config: s.config,
         }
     }
 }
@@ -142,6 +171,14 @@ impl CostedBandit for RandomPolicy {
 
     fn config(&self) -> &BanditConfig {
         &self.config
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState::Random(RandomState {
+            config: self.config.clone(),
+            remaining_budget: self.ledger.remaining(),
+            rng: self.rng.state(),
+        }))
     }
 }
 

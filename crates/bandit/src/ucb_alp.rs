@@ -22,6 +22,7 @@
 //! are equally likely by construction.
 
 use crate::config::{BanditConfig, BudgetLedger, CostedBandit};
+use crate::state::{PolicyState, UcbAlpState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -89,6 +90,21 @@ impl UcbAlp {
         assert!(scale >= 0.0 && !scale.is_nan(), "scale must be >= 0");
         self.exploration_scale = scale;
         self
+    }
+
+    /// Rebuilds a policy from a decoded snapshot state (validated at decode
+    /// time); the restore path of [`PolicyState::into_bandit`].
+    pub(crate) fn from_state(s: UcbAlpState) -> Self {
+        Self {
+            ledger: BudgetLedger::new(s.remaining_budget),
+            counts: s.counts,
+            means: s.means,
+            context_counts: s.context_counts,
+            rounds_elapsed: s.rounds_elapsed,
+            exploration_scale: s.exploration_scale,
+            rng: StdRng::from_state(s.rng),
+            config: s.config,
+        }
     }
 
     /// UCB index of a (context, action) pair. Untried pairs get `+inf` so
@@ -282,6 +298,19 @@ impl CostedBandit for UcbAlp {
 
     fn config(&self) -> &BanditConfig {
         &self.config
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState::UcbAlp(UcbAlpState {
+            config: self.config.clone(),
+            remaining_budget: self.ledger.remaining(),
+            counts: self.counts.clone(),
+            means: self.means.clone(),
+            context_counts: self.context_counts.clone(),
+            rounds_elapsed: self.rounds_elapsed,
+            exploration_scale: self.exploration_scale,
+            rng: self.rng.state(),
+        }))
     }
 }
 

@@ -36,6 +36,15 @@ pub trait Classifier: Send {
 
     /// Number of labeled samples this classifier has been trained on so far.
     fn training_samples(&self) -> usize;
+
+    /// The concrete [`SimulatedExpert`](crate::SimulatedExpert) behind this
+    /// classifier, if it is one. This is the (object-safe) hook runtime
+    /// snapshots use to serialize committee members; classifiers without a
+    /// serialized form return `None` (the default), and a snapshot
+    /// containing them fails with an explicit error instead of panicking.
+    fn as_simulated(&self) -> Option<&crate::SimulatedExpert> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Probability distributions over damage classes — the "expert vote" type.
 
 use crowdlearn_dataset::DamageLabel;
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -174,6 +175,28 @@ impl ClassDistribution {
 impl Default for ClassDistribution {
     fn default() -> Self {
         Self::uniform()
+    }
+}
+
+// Snapshot codec: the raw probability vector travels bit-exactly —
+// re-normalizing through `from_weights` on decode could perturb the last
+// mantissa bit and break the resume byte-equivalence contract, so decoding
+// only *checks* the invariant instead of re-establishing it.
+impl Encode for ClassDistribution {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.probs.encode(out);
+    }
+}
+
+impl Decode for ClassDistribution {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let probs = <[f64; DamageLabel::COUNT]>::decode(r)?;
+        let valid = probs.iter().all(|p| p.is_finite() && *p >= 0.0)
+            && (probs.iter().sum::<f64>() - 1.0).abs() < 1e-6;
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self { probs })
     }
 }
 

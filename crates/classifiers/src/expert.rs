@@ -3,6 +3,7 @@
 use crate::{ClassDistribution, Classifier};
 use crowdlearn_dataset::visual_layout::{dim, BLOCK, FAMILIES};
 use crowdlearn_dataset::{DamageLabel, LabeledImage, SyntheticImage};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// Execution-delay model of an expert: per-image seconds with deterministic
@@ -224,6 +225,103 @@ impl Classifier for SimulatedExpert {
 
     fn training_samples(&self) -> usize {
         self.seen_samples
+    }
+
+    fn as_simulated(&self) -> Option<&SimulatedExpert> {
+        Some(self)
+    }
+}
+
+// Snapshot codec: a simulated expert is its profile plus its mutable
+// training state, all of it plain data. Decoding re-validates the profile
+// through `SimulatedExpert::new`'s checks by construction order, but must
+// not panic — out-of-contract values surface as `DecodeError::Invalid`.
+impl Encode for DelayProfile {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.per_image_secs.encode(out);
+        self.jitter_frac.encode(out);
+    }
+}
+
+impl Decode for DelayProfile {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let per_image_secs = f64::decode(r)?;
+        let jitter_frac = f64::decode(r)?;
+        if per_image_secs.is_nan() || per_image_secs <= 0.0 || !(0.0..1.0).contains(&jitter_frac) {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            per_image_secs,
+            jitter_frac,
+        })
+    }
+}
+
+impl Encode for ExpertProfile {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.family_weights.encode(out);
+        self.confidence_gain.encode(out);
+        self.perception_noise.encode(out);
+        self.no_damage_bias.encode(out);
+        self.noise_floor.encode(out);
+        self.noise_ceiling.encode(out);
+        self.training_tau.encode(out);
+        self.delay.encode(out);
+        self.seed.encode(out);
+    }
+}
+
+impl Decode for ExpertProfile {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let profile = Self {
+            name: String::decode(r)?,
+            family_weights: <[f64; FAMILIES]>::decode(r)?,
+            confidence_gain: f64::decode(r)?,
+            perception_noise: f64::decode(r)?,
+            no_damage_bias: f64::decode(r)?,
+            noise_floor: f64::decode(r)?,
+            noise_ceiling: f64::decode(r)?,
+            training_tau: f64::decode(r)?,
+            delay: DelayProfile::decode(r)?,
+            seed: u64::decode(r)?,
+        };
+        let valid = profile.family_weights.iter().all(|w| *w >= 0.0)
+            && profile.family_weights.iter().sum::<f64>() > 0.0
+            && profile.confidence_gain > 0.0
+            && profile.perception_noise >= 0.0
+            && profile.noise_floor > 0.0
+            && profile.noise_ceiling >= profile.noise_floor
+            && profile.training_tau > 0.0;
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(profile)
+    }
+}
+
+impl Encode for SimulatedExpert {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.profile.encode(out);
+        self.effective_samples.encode(out);
+        self.seen_samples.encode(out);
+        self.version.encode(out);
+    }
+}
+
+impl Decode for SimulatedExpert {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let profile = ExpertProfile::decode(r)?;
+        let effective_samples = f64::decode(r)?;
+        if effective_samples.is_nan() || effective_samples < 0.0 {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            profile,
+            effective_samples,
+            seen_samples: usize::decode(r)?,
+            version: u64::decode(r)?,
+        })
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::Committee;
 use crowdlearn_classifiers::ClassDistribution;
 use crowdlearn_dataset::{LabeledImage, SyntheticImage};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// Maps a symmetric KL divergence to the `[0, 1]` loss scale — the `delta`
@@ -52,6 +53,24 @@ impl CalibratorConfig {
 impl Default for CalibratorConfig {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+impl Encode for CalibratorConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.update_weights.encode(out);
+        self.retrain.encode(out);
+        self.offload.encode(out);
+    }
+}
+
+impl Decode for CalibratorConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            update_weights: bool::decode(r)?,
+            retrain: bool::decode(r)?,
+            offload: bool::decode(r)?,
+        })
     }
 }
 

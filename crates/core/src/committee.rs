@@ -2,7 +2,7 @@
 //! (paper Definitions 4-8, Eq. 2-3).
 
 use crowdlearn_bandit::ExpWeights;
-use crowdlearn_classifiers::{ClassDistribution, Classifier};
+use crowdlearn_classifiers::{ClassDistribution, Classifier, SimulatedExpert};
 use crowdlearn_dataset::{LabeledImage, SyntheticImage};
 
 /// A weighted committee of black-box classifiers.
@@ -29,6 +29,34 @@ impl Committee {
         assert!(!members.is_empty(), "committee needs at least one expert");
         let hedge = ExpWeights::new(members.len(), eta);
         Self { members, hedge }
+    }
+
+    /// Rebuilds a committee from checkpointed parts: the members plus a
+    /// Hedge learner carrying the saved weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or its length differs from the weight
+    /// count.
+    pub fn from_parts(members: Vec<Box<dyn Classifier>>, hedge: ExpWeights) -> Self {
+        assert!(!members.is_empty(), "committee needs at least one expert");
+        assert_eq!(members.len(), hedge.len(), "one Hedge weight per member");
+        Self { members, hedge }
+    }
+
+    /// The Hedge learner's full state (for checkpoints).
+    pub fn hedge(&self) -> &ExpWeights {
+        &self.hedge
+    }
+
+    /// Clones every member as a [`SimulatedExpert`], or `None` when any
+    /// member is not a simulated expert — snapshot callers surface that as
+    /// an explicit unsupported-classifier error.
+    pub fn simulated_members(&self) -> Option<Vec<SimulatedExpert>> {
+        self.members
+            .iter()
+            .map(|m| m.as_simulated().cloned())
+            .collect()
     }
 
     /// Number of experts.

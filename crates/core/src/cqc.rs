@@ -5,6 +5,7 @@ use crowdlearn_classifiers::ClassDistribution;
 use crowdlearn_crowd::{QueryResponse, QuestionnaireAnswers};
 use crowdlearn_dataset::DamageLabel;
 use crowdlearn_gbdt::{GbdtClassifier, GbdtConfig};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// Feature extraction from one crowd query response.
 ///
@@ -163,6 +164,24 @@ impl QualityController {
     }
 }
 
+// Snapshot codec: the boosting configuration plus the (optionally trained)
+// model, both already validated by their own decoders.
+impl Encode for QualityController {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.config.encode(out);
+        self.model.encode(out);
+    }
+}
+
+impl Decode for QualityController {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            config: GbdtConfig::decode(r)?,
+            model: Option::<GbdtClassifier>::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +279,25 @@ mod tests {
     #[should_panic(expected = "at least one training example")]
     fn empty_training_rejected() {
         QualityController::paper().train(&[]);
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_trained_and_untrained() {
+        let untrained = QualityController::paper();
+        let back = QualityController::from_bytes(&untrained.to_bytes()).expect("round trip");
+        assert!(!back.is_trained());
+
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let mut platform = Platform::new(PlatformConfig::paper().with_seed(35));
+        let mut cqc = QualityController::paper();
+        cqc.train(&gather(&mut platform, &ds.train()[..80]));
+        let back = QualityController::from_bytes(&cqc.to_bytes()).expect("round trip");
+        assert!(back.is_trained());
+        let resp = platform.submit(
+            &ds.test()[2],
+            IncentiveLevel::C6,
+            TemporalContext::Afternoon,
+        );
+        assert_eq!(cqc.infer(&resp), back.infer(&resp));
     }
 }

@@ -1,9 +1,10 @@
 //! Incentive Policy Design (paper §IV-B): the CCMB mapping between the
 //! crowdsourcing platform and the bandit substrate.
 
-use crowdlearn_bandit::CostedBandit;
+use crowdlearn_bandit::{CostedBandit, PolicyState};
 use crowdlearn_crowd::IncentiveLevel;
 use crowdlearn_dataset::TemporalContext;
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// Maps raw crowd delays to the bandit's `[0, 1]` payoff scale.
 ///
@@ -32,6 +33,11 @@ impl PayoffNormalizer {
         Self::new(1800.0)
     }
 
+    /// The delay ceiling in seconds.
+    pub fn ceiling_secs(&self) -> f64 {
+        self.ceiling_secs
+    }
+
     /// Payoff of a delay: `1 - delay / ceiling`, clamped to `[0, 1]`.
     ///
     /// # Panics
@@ -55,6 +61,7 @@ impl PayoffNormalizer {
 pub struct IncentivePolicy {
     bandit: Box<dyn CostedBandit>,
     normalizer: PayoffNormalizer,
+    observations: u64,
 }
 
 impl IncentivePolicy {
@@ -75,7 +82,46 @@ impl IncentivePolicy {
             TemporalContext::COUNT,
             "bandit must have one context per temporal context"
         );
-        Self { bandit, normalizer }
+        Self {
+            bandit,
+            normalizer,
+            observations: 0,
+        }
+    }
+
+    /// Rebuilds a policy from checkpointed parts, restoring the delay
+    /// observation count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandit's action or context arity does not match (same
+    /// contract as [`IncentivePolicy::new`]).
+    pub fn from_parts(
+        bandit: Box<dyn CostedBandit>,
+        normalizer: PayoffNormalizer,
+        observations: u64,
+    ) -> Self {
+        let mut ipd = Self::new(bandit, normalizer);
+        ipd.observations = observations;
+        ipd
+    }
+
+    /// The underlying policy's serializable state, or `None` when the
+    /// policy is not checkpointable.
+    pub fn save_state(&self) -> Option<PolicyState> {
+        self.bandit.save_state()
+    }
+
+    /// The payoff normalizer.
+    pub fn normalizer(&self) -> PayoffNormalizer {
+        self.normalizer
+    }
+
+    /// Total delay observations fed to the learner so far — both the
+    /// absorb path and the censored timeout path count, so runtimes can
+    /// assert "exactly one observation per posted attempt".
+    pub fn observations(&self) -> u64 {
+        self.observations
     }
 
     /// Chooses an incentive for one query in `context`, charging the bandit
@@ -94,6 +140,7 @@ impl IncentivePolicy {
         delay_secs: f64,
     ) {
         let payoff = self.normalizer.payoff(delay_secs);
+        self.observations += 1;
         self.bandit
             .observe(context.index(), incentive.index(), payoff);
     }
@@ -114,6 +161,22 @@ impl IncentivePolicy {
     /// The underlying policy's name (for reports).
     pub fn policy_name(&self) -> &str {
         self.bandit.name()
+    }
+}
+
+impl Encode for PayoffNormalizer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ceiling_secs.encode(out);
+    }
+}
+
+impl Decode for PayoffNormalizer {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let ceiling_secs = f64::decode(r)?;
+        if !ceiling_secs.is_finite() || ceiling_secs <= 0.0 {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self { ceiling_secs })
     }
 }
 
@@ -175,6 +238,31 @@ mod tests {
         assert!(ipd.choose(TemporalContext::Morning).is_some());
         assert!(ipd.choose(TemporalContext::Morning).is_some());
         assert!(ipd.choose(TemporalContext::Morning).is_none());
+    }
+
+    #[test]
+    fn counts_every_delay_observation() {
+        let bandit = UcbAlp::new(config(100.0, 20), 3);
+        let mut ipd = IncentivePolicy::new(Box::new(bandit), PayoffNormalizer::paper());
+        assert_eq!(ipd.observations(), 0);
+        ipd.report_delay(TemporalContext::Morning, IncentiveLevel::C4, 120.0);
+        ipd.report_delay(TemporalContext::Evening, IncentiveLevel::C8, 600.0);
+        assert_eq!(ipd.observations(), 2);
+        let state = ipd.save_state().expect("UCB-ALP is checkpointable");
+        let resumed =
+            IncentivePolicy::from_parts(state.into_bandit(), ipd.normalizer(), ipd.observations());
+        assert_eq!(resumed.observations(), 2);
+    }
+
+    #[test]
+    fn normalizer_codec_round_trips() {
+        let n = PayoffNormalizer::new(1234.5);
+        assert_eq!(PayoffNormalizer::from_bytes(&n.to_bytes()), Ok(n));
+        let bad = (-3.0f64).to_bytes();
+        assert!(matches!(
+            PayoffNormalizer::from_bytes(&bad),
+            Err(DecodeError::Invalid)
+        ));
     }
 
     #[test]

@@ -61,5 +61,7 @@ pub use cqc::{QualityController, QueryFeatures};
 pub use ipd::{IncentivePolicy, PayoffNormalizer};
 pub use qss::QuerySetSelector;
 pub use report::{CycleOutcome, SchemeReport};
-pub use system::{CrowdLearnConfig, CrowdLearnSystem, CycleWork, IncentivePolicyKind, PostedQuery};
+pub use system::{
+    CrowdLearnConfig, CrowdLearnSystem, CycleWork, IncentivePolicyKind, PostedQuery, StateError,
+};
 pub use trace::{CycleTrace, RunTrace};

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// The ε-greedy entropy-ranked query selector.
 ///
@@ -82,9 +83,56 @@ impl QuerySetSelector {
     }
 }
 
+// Snapshot codec: the exploration rate plus the raw RNG words, so a resumed
+// selector continues the exact random sequence of the live one.
+impl Encode for QuerySetSelector {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.epsilon.encode(out);
+        self.rng.state().encode(out);
+    }
+}
+
+impl Decode for QuerySetSelector {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let epsilon = f64::decode(r)?;
+        let rng = <[u64; 4]>::decode(r)?;
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            epsilon,
+            rng: StdRng::from_state(rng),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_codec_resumes_the_random_sequence() {
+        let mut live = QuerySetSelector::new(0.4, 99);
+        let entropies: Vec<f64> = (0..12).map(|i| f64::from(i) / 12.0).collect();
+        for _ in 0..5 {
+            live.select(&entropies, 4);
+        }
+        let mut resumed = QuerySetSelector::from_bytes(&live.to_bytes()).expect("round trip");
+        for _ in 0..10 {
+            assert_eq!(live.select(&entropies, 4), resumed.select(&entropies, 4));
+        }
+    }
+
+    #[test]
+    fn snapshot_codec_rejects_bad_epsilon() {
+        let mut bytes = Vec::new();
+        7.5f64.encode(&mut bytes);
+        [1u64, 2, 3, 4].encode(&mut bytes);
+        assert!(matches!(
+            QuerySetSelector::from_bytes(&bytes),
+            Err(DecodeError::Invalid)
+        ));
+    }
 
     #[test]
     fn zero_epsilon_returns_top_entropy_order() {

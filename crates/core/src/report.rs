@@ -3,6 +3,7 @@
 use crowdlearn_classifiers::ClassDistribution;
 use crowdlearn_dataset::{DamageLabel, ImageId, TemporalContext};
 use crowdlearn_metrics::{macro_average_roc, ConfusionMatrix, RocCurve, SummaryStats};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// One image's outcome within a cycle.
@@ -36,6 +37,68 @@ pub struct CycleOutcome {
     pub crowd_delay_secs: Option<f64>,
     /// Cents spent on the crowd this cycle.
     pub spent_cents: u64,
+}
+
+// Snapshot codecs: cycle outcomes are part of a checkpointed runtime's
+// accumulated results, so both types round-trip bit-exactly (f64 via bits).
+impl Encode for ImageOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.image.encode(out);
+        self.truth.encode(out);
+        self.predicted.encode(out);
+        self.distribution.encode(out);
+        self.queried.encode(out);
+    }
+}
+
+impl Decode for ImageOutcome {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            image: ImageId::decode(r)?,
+            truth: DamageLabel::decode(r)?,
+            predicted: DamageLabel::decode(r)?,
+            distribution: ClassDistribution::decode(r)?,
+            queried: bool::decode(r)?,
+        })
+    }
+}
+
+impl Encode for CycleOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cycle.encode(out);
+        self.context.encode(out);
+        self.images.encode(out);
+        self.algorithm_delay_secs.encode(out);
+        self.crowd_delay_secs.encode(out);
+        self.spent_cents.encode(out);
+    }
+}
+
+impl Decode for CycleOutcome {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let cycle = usize::decode(r)?;
+        let context = TemporalContext::decode(r)?;
+        let images = Vec::<ImageOutcome>::decode(r)?;
+        let algorithm_delay_secs = f64::decode(r)?;
+        let crowd_delay_secs = Option::<f64>::decode(r)?;
+        let spent_cents = u64::decode(r)?;
+        if !algorithm_delay_secs.is_finite() || algorithm_delay_secs < 0.0 {
+            return Err(DecodeError::Invalid);
+        }
+        if let Some(d) = crowd_delay_secs {
+            if !d.is_finite() || d < 0.0 {
+                return Err(DecodeError::Invalid);
+            }
+        }
+        Ok(Self {
+            cycle,
+            context,
+            images,
+            algorithm_delay_secs,
+            crowd_delay_secs,
+            spent_cents,
+        })
+    }
 }
 
 /// Accumulated evaluation of one scheme across a full run — the unit every
@@ -236,6 +299,23 @@ mod tests {
         let correctness = r.correctness();
         let correct = correctness.iter().filter(|&&c| c).count() as f64;
         assert!((correct / correctness.len() as f64 - r.accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_outcome_codec_round_trips() {
+        let o = outcome(7, TemporalContext::Evening, true);
+        assert_eq!(CycleOutcome::from_bytes(&o.to_bytes()).as_ref(), Ok(&o));
+
+        let mut late = o.clone();
+        late.crowd_delay_secs = None;
+        assert_eq!(CycleOutcome::from_bytes(&late.to_bytes()), Ok(late));
+
+        let mut bad = o;
+        bad.algorithm_delay_secs = f64::NAN;
+        assert_eq!(
+            CycleOutcome::from_bytes(&bad.to_bytes()),
+            Err(DecodeError::Invalid)
+        );
     }
 
     #[test]

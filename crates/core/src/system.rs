@@ -6,13 +6,15 @@ use crate::{
     PayoffNormalizer, QualityController, QuerySetSelector, SchemeReport,
 };
 use crowdlearn_bandit::{
-    BanditConfig, CostedBandit, EpsilonGreedy, FixedPolicy, RandomPolicy, UcbAlp,
+    BanditConfig, CostedBandit, EpsilonGreedy, ExpWeights, FixedPolicy, PolicyState, RandomPolicy,
+    UcbAlp,
 };
-use crowdlearn_classifiers::{profiles, ClassDistribution, Classifier};
+use crowdlearn_classifiers::{profiles, ClassDistribution, Classifier, SimulatedExpert};
 use crowdlearn_crowd::{IncentiveLevel, PendingHit, Platform, PlatformConfig, QueryResponse};
 use crowdlearn_dataset::{
     DamageLabel, Dataset, LabeledImage, SensingCycle, SensingCycleStream, TemporalContext,
 };
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// Which incentive policy drives IPD — CrowdLearn proper uses
@@ -142,6 +144,22 @@ impl CrowdLearnConfig {
         self
     }
 
+    /// The non-panicking form of [`CrowdLearnConfig::validate`] — the
+    /// decode path re-checks the same invariants without asserting.
+    fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.epsilon)
+            && self.hedge_eta.is_finite()
+            && self.hedge_eta > 0.0
+            && self.budget_cents.is_finite()
+            && self.budget_cents >= 0.0
+            && self.horizon_queries > 0
+            && self.module_overhead_secs.is_finite()
+            && self.module_overhead_secs >= 0.0
+            && self
+                .offload_deadline_secs
+                .is_none_or(|d| d.is_finite() && d > 0.0)
+    }
+
     fn validate(&self) {
         assert!(
             (0.0..=1.0).contains(&self.epsilon),
@@ -163,6 +181,72 @@ impl CrowdLearnConfig {
 impl Default for CrowdLearnConfig {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+impl Encode for IncentivePolicyKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            IncentivePolicyKind::UcbAlp => 0,
+            IncentivePolicyKind::EpsilonGreedy => 1,
+            IncentivePolicyKind::FixedMax => 2,
+            IncentivePolicyKind::Random => 3,
+        };
+        tag.encode(out);
+    }
+}
+
+impl Decode for IncentivePolicyKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(IncentivePolicyKind::UcbAlp),
+            1 => Ok(IncentivePolicyKind::EpsilonGreedy),
+            2 => Ok(IncentivePolicyKind::FixedMax),
+            3 => Ok(IncentivePolicyKind::Random),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+}
+
+impl Encode for CrowdLearnConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.queries_per_cycle.encode(out);
+        self.epsilon.encode(out);
+        self.hedge_eta.encode(out);
+        self.budget_cents.encode(out);
+        self.horizon_queries.encode(out);
+        self.policy.encode(out);
+        self.calibration.encode(out);
+        self.warmup_per_cell.encode(out);
+        self.cqc_training_queries.encode(out);
+        self.module_overhead_secs.encode(out);
+        self.offload_deadline_secs.encode(out);
+        self.seed.encode(out);
+        self.platform_seed.encode(out);
+    }
+}
+
+impl Decode for CrowdLearnConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let config = Self {
+            queries_per_cycle: usize::decode(r)?,
+            epsilon: f64::decode(r)?,
+            hedge_eta: f64::decode(r)?,
+            budget_cents: f64::decode(r)?,
+            horizon_queries: u64::decode(r)?,
+            policy: IncentivePolicyKind::decode(r)?,
+            calibration: CalibratorConfig::decode(r)?,
+            warmup_per_cell: usize::decode(r)?,
+            cqc_training_queries: usize::decode(r)?,
+            module_overhead_secs: f64::decode(r)?,
+            offload_deadline_secs: Option::<f64>::decode(r)?,
+            seed: u64::decode(r)?,
+            platform_seed: u64::decode(r)?,
+        };
+        if !config.is_valid() {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(config)
     }
 }
 
@@ -241,6 +325,79 @@ impl CycleWork {
         self.spent_cents
     }
 }
+
+// Snapshot codec: everything a live cycle carries, so a checkpointed runtime
+// can park in-flight cycles mid-crowd-wait and resume them byte-identically.
+impl Encode for CycleWork {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cycle_index.encode(out);
+        self.context.encode(out);
+        self.member_votes.encode(out);
+        self.picked.encode(out);
+        self.next_pick.encode(out);
+        self.budget_exhausted.encode(out);
+        self.truthful.encode(out);
+        self.in_time.encode(out);
+        self.query_delays.encode(out);
+        self.spent_cents.encode(out);
+        self.outstanding.encode(out);
+    }
+}
+
+impl Decode for CycleWork {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let work = Self {
+            cycle_index: usize::decode(r)?,
+            context: TemporalContext::decode(r)?,
+            member_votes: Vec::<Vec<ClassDistribution>>::decode(r)?,
+            picked: Vec::<usize>::decode(r)?,
+            next_pick: usize::decode(r)?,
+            budget_exhausted: bool::decode(r)?,
+            truthful: Vec::<(usize, ClassDistribution)>::decode(r)?,
+            in_time: Vec::<bool>::decode(r)?,
+            query_delays: Vec::<f64>::decode(r)?,
+            spent_cents: u64::decode(r)?,
+            outstanding: usize::decode(r)?,
+        };
+        let images = work.member_votes.len();
+        let valid = work.next_pick <= work.picked.len()
+            && work.picked.iter().all(|&i| i < images)
+            && work.truthful.iter().all(|(i, _)| *i < images)
+            && work.in_time.len() == work.truthful.len()
+            && work.query_delays.len() == work.truthful.len()
+            && work.query_delays.iter().all(|d| d.is_finite() && *d >= 0.0);
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(work)
+    }
+}
+
+/// Why a [`CrowdLearnSystem`] could not be serialized for a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateError {
+    /// A committee member is not a [`SimulatedExpert`] and has no
+    /// serialized form.
+    UnsupportedClassifier,
+    /// The incentive bandit does not support checkpointing (e.g. the
+    /// ablation-only Thompson/Exp3 policies).
+    UnsupportedPolicy,
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::UnsupportedClassifier => {
+                write!(f, "committee member has no serialized form")
+            }
+            StateError::UnsupportedPolicy => {
+                write!(f, "incentive bandit does not support checkpointing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
 
 /// The assembled CrowdLearn system: committee + QSS + IPD + CQC + MIC over a
 /// simulated platform. See the crate docs for the per-cycle workflow.
@@ -374,6 +531,77 @@ impl CrowdLearnSystem {
     /// The active configuration.
     pub fn config(&self) -> &CrowdLearnConfig {
         &self.config
+    }
+
+    /// Total delay observations fed to the incentive learner so far (both
+    /// the absorb path and the censored timeout path) — exposed so runtimes
+    /// can assert exactly-one-observation-per-attempt accounting.
+    pub fn delay_observations(&self) -> u64 {
+        self.ipd.observations()
+    }
+
+    /// Appends the system's complete learning state to `out`: the committee
+    /// members and Hedge weights, the QSS and platform RNGs, the incentive
+    /// bandit with its budget ledger, CQC's trained model, and the bootstrap
+    /// spending baseline. [`CrowdLearnSystem::decode_state`] rebuilds an
+    /// equivalent system that continues byte-identically — no dataset or
+    /// re-bootstrapping needed.
+    pub fn encode_state(&self, out: &mut Vec<u8>) -> Result<(), StateError> {
+        let members = self
+            .committee
+            .simulated_members()
+            .ok_or(StateError::UnsupportedClassifier)?;
+        let policy = self.ipd.save_state().ok_or(StateError::UnsupportedPolicy)?;
+        self.config.encode(out);
+        members.encode(out);
+        self.committee.hedge().encode(out);
+        self.qss.encode(out);
+        policy.encode(out);
+        self.ipd.normalizer().encode(out);
+        self.ipd.observations().encode(out);
+        self.cqc.encode(out);
+        self.platform.encode(out);
+        self.bootstrap_spent_cents.encode(out);
+        Ok(())
+    }
+
+    /// Rebuilds a system from [`CrowdLearnSystem::encode_state`] bytes. All
+    /// constructor invariants are re-checked; violations surface as
+    /// [`DecodeError::Invalid`] rather than panics.
+    pub fn decode_state(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let config = CrowdLearnConfig::decode(r)?;
+        let members = Vec::<SimulatedExpert>::decode(r)?;
+        let hedge = ExpWeights::decode(r)?;
+        if members.is_empty() || members.len() != hedge.len() {
+            return Err(DecodeError::Invalid);
+        }
+        let qss = QuerySetSelector::decode(r)?;
+        let policy = PolicyState::decode(r)?;
+        if policy.config().actions() != IncentiveLevel::COUNT
+            || policy.config().contexts() != TemporalContext::COUNT
+        {
+            return Err(DecodeError::Invalid);
+        }
+        let normalizer = PayoffNormalizer::decode(r)?;
+        let observations = u64::decode(r)?;
+        let cqc = QualityController::decode(r)?;
+        let platform = Platform::decode(r)?;
+        let bootstrap_spent_cents = u64::decode(r)?;
+
+        let boxed: Vec<Box<dyn Classifier>> = members
+            .into_iter()
+            .map(|e| Box::new(e) as Box<dyn Classifier>)
+            .collect();
+        Ok(Self {
+            calibrator: Calibrator::new(config.calibration),
+            committee: Committee::from_parts(boxed, hedge),
+            qss,
+            ipd: IncentivePolicy::from_parts(policy.into_bandit(), normalizer, observations),
+            cqc,
+            platform,
+            bootstrap_spent_cents,
+            config,
+        })
     }
 
     /// Starts a sensing cycle: computes (and caches) the committee's votes,
@@ -510,6 +738,26 @@ impl CrowdLearnSystem {
         );
         work.query_delays.push(response.completion_delay_secs);
         work.in_time.push(timely);
+        work.truthful.push((image_index, self.cqc.infer(response)));
+    }
+
+    /// ③ (late variant) Absorbs the answer of a HIT whose censored delay
+    /// observation (delay = the timeout) was already fed to IPD via
+    /// [`CrowdLearnSystem::observe_crowd_delay`] at the timeout instant —
+    /// the runtime's out-of-attempts path. Everything except the IPD report
+    /// happens as in [`CrowdLearnSystem::absorb_answer`]: the cycle's delay
+    /// statistics record the *true* completion delay, and the answer still
+    /// feeds CQC/MIC, but it never offloads (`in_time = false`).
+    pub fn absorb_late_answer(
+        &mut self,
+        work: &mut CycleWork,
+        image_index: usize,
+        response: &QueryResponse,
+    ) {
+        assert!(work.outstanding > 0, "no outstanding query to absorb");
+        work.outstanding -= 1;
+        work.query_delays.push(response.completion_delay_secs);
+        work.in_time.push(false);
         work.truthful.push((image_index, self.cqc.infer(response)));
     }
 
@@ -846,6 +1094,50 @@ mod tests {
         let report = paper_run(CrowdLearnConfig::paper().with_budget_cents(20.0));
         assert_eq!(report.confusion.total(), 400);
         assert!(report.spent_cents <= 20);
+    }
+
+    #[test]
+    fn state_codec_resumes_mid_run_identically() {
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        let stream = SensingCycleStream::paper(&dataset);
+        let mut config = CrowdLearnConfig::paper();
+        config.cqc_training_queries = 200;
+        config.warmup_per_cell = 2;
+        let mut system = CrowdLearnSystem::new(&dataset, config);
+        let cycles: Vec<_> = stream.into_iter().collect();
+        for cycle in &cycles[..8] {
+            system.run_cycle(cycle, &dataset);
+        }
+
+        let mut bytes = Vec::new();
+        system.encode_state(&mut bytes).expect("checkpointable");
+        let mut resumed =
+            CrowdLearnSystem::decode_state(&mut Reader::new(&bytes)).expect("state round trip");
+
+        for cycle in &cycles[8..16] {
+            let a = system.run_cycle(cycle, &dataset);
+            let b = resumed.run_cycle(cycle, &dataset);
+            assert_eq!(a, b, "cycle {} diverged after resume", cycle.index);
+        }
+        assert_eq!(
+            system.remaining_budget_cents(),
+            resumed.remaining_budget_cents()
+        );
+        assert_eq!(system.delay_observations(), resumed.delay_observations());
+        assert_eq!(system.committee_weights(), resumed.committee_weights());
+    }
+
+    #[test]
+    fn state_codec_rejects_truncation() {
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        let mut config = CrowdLearnConfig::paper();
+        config.cqc_training_queries = 50;
+        config.warmup_per_cell = 1;
+        let system = CrowdLearnSystem::new(&dataset, config);
+        let mut bytes = Vec::new();
+        system.encode_state(&mut bytes).expect("checkpointable");
+        let truncated = &bytes[..bytes.len() / 2];
+        assert!(CrowdLearnSystem::decode_state(&mut Reader::new(truncated)).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::IncentiveLevel;
 use crowdlearn_dataset::{gaussian, TemporalContext};
 use rand::rngs::StdRng;
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// Mean per-HIT response delay (seconds) for every
@@ -92,6 +93,35 @@ impl DelayModel {
 impl Default for DelayModel {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+// Snapshot codec: decoding re-checks the `from_table` invariants and reports
+// `Invalid` instead of panicking.
+impl Encode for DelayModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.base_secs.encode(out);
+        self.noise_sigma.encode(out);
+    }
+}
+
+impl Decode for DelayModel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let base_secs = <[[f64; IncentiveLevel::COUNT]; TemporalContext::COUNT]>::decode(r)?;
+        let noise_sigma = f64::decode(r)?;
+        let valid = base_secs
+            .iter()
+            .flatten()
+            .all(|d| d.is_finite() && *d > 0.0)
+            && noise_sigma.is_finite()
+            && noise_sigma >= 0.0;
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            base_secs,
+            noise_sigma,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! The seven incentive levels of the paper's action set
 //! (`A = {1, 2, 4, 6, 8, 10, 20}` cents, Definition 11).
 
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -88,6 +89,22 @@ impl fmt::Display for IncentiveLevel {
     }
 }
 
+// Snapshot codec: levels travel as their stable action index.
+impl Encode for IncentiveLevel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.index() as u8).encode(out);
+    }
+}
+
+impl Decode for IncentiveLevel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Self::ALL
+            .get(usize::from(u8::decode(r)?))
+            .copied()
+            .ok_or(DecodeError::Invalid)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +142,13 @@ mod tests {
     #[test]
     fn display_shows_cents() {
         assert_eq!(IncentiveLevel::C20.to_string(), "20c");
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_out_of_range() {
+        for level in IncentiveLevel::ALL {
+            assert_eq!(IncentiveLevel::from_bytes(&level.to_bytes()), Ok(level));
+        }
+        assert_eq!(IncentiveLevel::from_bytes(&[7]), Err(DecodeError::Invalid));
     }
 }

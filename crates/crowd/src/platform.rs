@@ -5,6 +5,7 @@ use crowdlearn_dataset::{DamageLabel, ImageAttribute, ImageId, SyntheticImage, T
 use crowdlearn_truth::WorkerId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the simulated platform.
@@ -487,6 +488,164 @@ impl Platform {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codecs (`serde::binary`): everything a resumed run needs to keep
+// serving byte-identical responses — the worker pool, the configuration, the
+// ledger, and the RNG mid-stream state. Decoding re-checks constructor
+// invariants and reports `Invalid` instead of panicking.
+
+impl Encode for PlatformConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pool_size.encode(out);
+        self.workers_per_query.encode(out);
+        self.seed.encode(out);
+        self.churn_rate.encode(out);
+        self.delay_model.encode(out);
+        self.quality_model.encode(out);
+    }
+}
+
+impl Decode for PlatformConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let config = Self {
+            pool_size: usize::decode(r)?,
+            workers_per_query: usize::decode(r)?,
+            seed: u64::decode(r)?,
+            churn_rate: f64::decode(r)?,
+            delay_model: DelayModel::decode(r)?,
+            quality_model: QualityModel::decode(r)?,
+        };
+        let valid = config.pool_size > 0
+            && config.workers_per_query > 0
+            && config.workers_per_query <= config.pool_size
+            && (0.0..=1.0).contains(&config.churn_rate);
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(config)
+    }
+}
+
+impl Encode for WorkerResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.worker.0.encode(out);
+        self.label.encode(out);
+        self.questionnaire.encode(out);
+        self.delay_secs.encode(out);
+    }
+}
+
+impl Decode for WorkerResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let worker = WorkerId(u32::decode(r)?);
+        let label = DamageLabel::decode(r)?;
+        let questionnaire = QuestionnaireAnswers::decode(r)?;
+        let delay_secs = f64::decode(r)?;
+        if !delay_secs.is_finite() || delay_secs < 0.0 {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            worker,
+            label,
+            questionnaire,
+            delay_secs,
+        })
+    }
+}
+
+impl Encode for QueryResponse {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.image_id.encode(out);
+        self.incentive.encode(out);
+        self.responses.encode(out);
+        self.completion_delay_secs.encode(out);
+    }
+}
+
+impl Decode for QueryResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let image_id = ImageId::decode(r)?;
+        let incentive = IncentiveLevel::decode(r)?;
+        let responses = Vec::<WorkerResponse>::decode(r)?;
+        let completion_delay_secs = f64::decode(r)?;
+        if !completion_delay_secs.is_finite() || completion_delay_secs < 0.0 {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            image_id,
+            incentive,
+            responses,
+            completion_delay_secs,
+        })
+    }
+}
+
+impl Encode for PendingHit {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.response.encode(out);
+        self.context.encode(out);
+    }
+}
+
+impl Decode for PendingHit {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            response: QueryResponse::decode(r)?,
+            context: TemporalContext::decode(r)?,
+        })
+    }
+}
+
+impl Encode for PlatformStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.queries.encode(out);
+    }
+}
+
+impl Decode for PlatformStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            queries: Decode::decode(r)?,
+        })
+    }
+}
+
+impl Encode for Platform {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pool.encode(out);
+        self.config.encode(out);
+        self.rng.state().encode(out);
+        self.spent_cents.encode(out);
+        self.queries_served.encode(out);
+        self.next_worker_id.encode(out);
+        self.stats.encode(out);
+    }
+}
+
+impl Decode for Platform {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let pool = WorkerPool::decode(r)?;
+        let config = PlatformConfig::decode(r)?;
+        let rng = StdRng::from_state(<[u64; 4]>::decode(r)?);
+        let spent_cents = u64::decode(r)?;
+        let queries_served = u64::decode(r)?;
+        let next_worker_id = u32::decode(r)?;
+        let stats = PlatformStats::decode(r)?;
+        if config.workers_per_query > pool.len() {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            pool,
+            config,
+            rng,
+            spent_cents,
+            queries_served,
+            next_worker_id,
+            stats,
+        })
+    }
+}
+
 /// Deterministic hash of a key to `[0, 1)` (SplitMix64 finalizer).
 fn hash01(key: u64) -> f64 {
     let mut x = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -733,5 +892,35 @@ mod tests {
                 .with_pool_size(3)
                 .with_workers_per_query(5),
         );
+    }
+
+    #[test]
+    fn snapshot_codec_resumes_mid_stream_byte_identically() {
+        use serde::binary::Decode;
+        let ds = dataset();
+        let mut live = Platform::new(PlatformConfig::paper().with_seed(21).with_churn_rate(0.3));
+        for img in ds.train().iter().take(17) {
+            let _ = live.submit(img, IncentiveLevel::C6, TemporalContext::Evening);
+        }
+        let mut resumed =
+            Platform::from_bytes(&serde::binary::Encode::to_bytes(&live)).expect("round trip");
+        for img in ds.train().iter().skip(17).take(10) {
+            let a = live.submit(img, IncentiveLevel::C8, TemporalContext::Morning);
+            let b = resumed.submit(img, IncentiveLevel::C8, TemporalContext::Morning);
+            assert_eq!(a, b);
+        }
+        assert_eq!(live.spent_cents(), resumed.spent_cents());
+        assert_eq!(live.pool(), resumed.pool());
+    }
+
+    #[test]
+    fn snapshot_codec_rejects_corrupt_payloads() {
+        use serde::binary::{Decode, DecodeError};
+        let p = platform(22);
+        let bytes = serde::binary::Encode::to_bytes(&p);
+        assert!(matches!(
+            Platform::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::Truncated)
+        ));
     }
 }

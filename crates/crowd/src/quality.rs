@@ -3,6 +3,7 @@
 
 use crate::IncentiveLevel;
 use crowdlearn_dataset::TemporalContext;
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// Adjusts a worker's base reliability for the incentive paid and the
@@ -69,6 +70,32 @@ impl QualityModel {
 impl Default for QualityModel {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+// Snapshot codec: boosts may legitimately be negative, but must be finite.
+impl Encode for QualityModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.incentive_boost.encode(out);
+        self.context_boost.encode(out);
+    }
+}
+
+impl Decode for QualityModel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let incentive_boost = <[f64; IncentiveLevel::COUNT]>::decode(r)?;
+        let context_boost = <[f64; TemporalContext::COUNT]>::decode(r)?;
+        let finite = incentive_boost
+            .iter()
+            .chain(&context_boost)
+            .all(|b| b.is_finite());
+        if !finite {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            incentive_boost,
+            context_boost,
+        })
     }
 }
 

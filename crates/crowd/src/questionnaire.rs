@@ -6,6 +6,7 @@
 //! parsing natural language."
 
 use crowdlearn_dataset::{DamageLabel, ImageAttribute, SyntheticImage};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// One worker's answers to the five evidence questions.
@@ -88,6 +89,29 @@ impl QuestionnaireAnswers {
             4 => self.people_affected = !self.people_affected,
             _ => panic!("question index {index} out of range"),
         }
+    }
+}
+
+// Snapshot codec: the five answers in declaration order.
+impl Encode for QuestionnaireAnswers {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.photoshopped.encode(out);
+        self.close_up.encode(out);
+        self.low_resolution.encode(out);
+        self.structural_damage.encode(out);
+        self.people_affected.encode(out);
+    }
+}
+
+impl Decode for QuestionnaireAnswers {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            photoshopped: bool::decode(r)?,
+            close_up: bool::decode(r)?,
+            low_resolution: bool::decode(r)?,
+            structural_damage: bool::decode(r)?,
+            people_affected: bool::decode(r)?,
+        })
     }
 }
 

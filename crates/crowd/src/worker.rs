@@ -4,6 +4,7 @@ use crowdlearn_dataset::{gaussian, TemporalContext};
 use crowdlearn_truth::WorkerId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// One simulated crowd worker.
@@ -92,6 +93,39 @@ impl Worker {
         // Per-worker dither so activity is not perfectly bimodal.
         let activity = activity.map(|a: f64| (a + 0.1 * gaussian(rng)).max(0.05));
         Worker::from_traits(id, reliability, speed_factor, activity)
+    }
+}
+
+// Snapshot codec: decoding re-checks the `from_traits` invariants and
+// reports `Invalid` instead of panicking.
+impl Encode for Worker {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.0.encode(out);
+        self.reliability.encode(out);
+        self.speed_factor.encode(out);
+        self.activity.encode(out);
+    }
+}
+
+impl Decode for Worker {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let id = WorkerId(u32::decode(r)?);
+        let reliability = f64::decode(r)?;
+        let speed_factor = f64::decode(r)?;
+        let activity = <[f64; TemporalContext::COUNT]>::decode(r)?;
+        let valid = (0.0..=1.0).contains(&reliability)
+            && speed_factor.is_finite()
+            && speed_factor > 0.0
+            && activity.iter().all(|a| a.is_finite() && *a >= 0.0);
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            id,
+            reliability,
+            speed_factor,
+            activity,
+        })
     }
 }
 
@@ -191,6 +225,22 @@ impl WorkerPool {
     /// Mean reliability across the pool.
     pub fn mean_reliability(&self) -> f64 {
         self.workers.iter().map(|w| w.reliability()).sum::<f64>() / self.workers.len() as f64
+    }
+}
+
+impl Encode for WorkerPool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.workers.encode(out);
+    }
+}
+
+impl Decode for WorkerPool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let workers = Vec::<Worker>::decode(r)?;
+        if workers.is_empty() {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self { workers })
     }
 }
 

@@ -1,0 +1,73 @@
+//! Binary-codec impls for the dataset vocabulary types, used by the
+//! runtime's checkpoint/resume snapshots (`serde::binary`).
+//!
+//! Enums travel as their stable `index()`; decoding an out-of-range index
+//! is a [`DecodeError::Invalid`], never a panic.
+
+use crate::{DamageLabel, ImageId, TemporalContext};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
+
+impl Encode for ImageId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for ImageId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ImageId(u32::decode(r)?))
+    }
+}
+
+impl Encode for DamageLabel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.index() as u8).encode(out);
+    }
+}
+
+impl Decode for DamageLabel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Self::ALL
+            .get(usize::from(u8::decode(r)?))
+            .copied()
+            .ok_or(DecodeError::Invalid)
+    }
+}
+
+impl Encode for TemporalContext {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.index() as u8).encode(out);
+    }
+}
+
+impl Decode for TemporalContext {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Self::ALL
+            .get(usize::from(u8::decode(r)?))
+            .copied()
+            .ok_or(DecodeError::Invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_round_trips() {
+        for label in DamageLabel::ALL {
+            assert_eq!(DamageLabel::from_bytes(&label.to_bytes()), Ok(label));
+        }
+        for ctx in TemporalContext::ALL {
+            assert_eq!(TemporalContext::from_bytes(&ctx.to_bytes()), Ok(ctx));
+        }
+        let id = ImageId(0xbeef);
+        assert_eq!(ImageId::from_bytes(&id.to_bytes()), Ok(id));
+    }
+
+    #[test]
+    fn out_of_range_enum_indices_are_invalid() {
+        assert_eq!(DamageLabel::from_bytes(&[3]), Err(DecodeError::Invalid));
+        assert_eq!(TemporalContext::from_bytes(&[4]), Err(DecodeError::Invalid));
+    }
+}

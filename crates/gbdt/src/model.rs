@@ -4,6 +4,7 @@ use crate::tree::{RegressionTree, SplitMode, TreeParams};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters of [`GbdtClassifier::fit`].
@@ -341,6 +342,98 @@ impl GbdtClassifier {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot codecs (`serde::binary`): decoding re-checks the constructor
+// invariants and reports `Invalid` instead of panicking.
+
+impl Encode for GbdtConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rounds.encode(out);
+        self.max_depth.encode(out);
+        self.learning_rate.encode(out);
+        self.lambda.encode(out);
+        self.gamma.encode(out);
+        self.min_child_weight.encode(out);
+        self.subsample.encode(out);
+        self.colsample.encode(out);
+        self.split_mode.encode(out);
+        self.seed.encode(out);
+    }
+}
+
+impl Decode for GbdtConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let config = Self {
+            rounds: usize::decode(r)?,
+            max_depth: usize::decode(r)?,
+            learning_rate: f64::decode(r)?,
+            lambda: f64::decode(r)?,
+            gamma: f64::decode(r)?,
+            min_child_weight: f64::decode(r)?,
+            subsample: f64::decode(r)?,
+            colsample: f64::decode(r)?,
+            split_mode: SplitMode::decode(r)?,
+            seed: u64::decode(r)?,
+        };
+        let valid = config.rounds > 0
+            && config.learning_rate.is_finite()
+            && config.learning_rate > 0.0
+            && config.lambda.is_finite()
+            && config.lambda >= 0.0
+            && config.gamma.is_finite()
+            && config.gamma >= 0.0
+            && config.min_child_weight.is_finite()
+            && config.min_child_weight >= 0.0
+            && config.subsample > 0.0
+            && config.subsample <= 1.0
+            && config.colsample > 0.0
+            && config.colsample <= 1.0;
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(config)
+    }
+}
+
+impl Encode for GbdtClassifier {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.trees.encode(out);
+        self.base_scores.encode(out);
+        self.classes.encode(out);
+        self.features.encode(out);
+        self.learning_rate.encode(out);
+        self.importance.encode(out);
+    }
+}
+
+impl Decode for GbdtClassifier {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let trees = Vec::<Vec<RegressionTree>>::decode(r)?;
+        let base_scores = Vec::<f64>::decode(r)?;
+        let classes = usize::decode(r)?;
+        let features = usize::decode(r)?;
+        let learning_rate = f64::decode(r)?;
+        let importance = Vec::<f64>::decode(r)?;
+        let valid = classes >= 2
+            && features > 0
+            && base_scores.len() == classes
+            && importance.len() == features
+            && learning_rate.is_finite()
+            && trees.iter().all(|round| round.len() == classes);
+        if !valid {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            trees,
+            base_scores,
+            classes,
+            features,
+            learning_rate,
+            importance,
+        })
+    }
+}
+
 fn log_loss_of_scores(scores: &[Vec<f64>], labels: &[usize]) -> f64 {
     let mut total = 0.0;
     for (score, &label) in scores.iter().zip(labels) {
@@ -566,6 +659,16 @@ mod tests {
         for row in &rows {
             assert_eq!(model.predict_proba(row), clone.predict_proba(row));
         }
+    }
+
+    #[test]
+    fn snapshot_codec_round_trips_a_trained_model() {
+        let (rows, labels) = blobs(15);
+        let model = GbdtClassifier::fit(&rows, &labels, 3, &GbdtConfig::small());
+        let restored = GbdtClassifier::from_bytes(&model.to_bytes()).expect("round trip");
+        assert_eq!(model, restored);
+        let config = GbdtConfig::histogram(32);
+        assert_eq!(GbdtConfig::from_bytes(&config.to_bytes()), Ok(config));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Regression trees on gradient/hessian pairs (the XGBoost tree booster).
 
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use serde::{Deserialize, Serialize};
 
 /// How candidate split thresholds are enumerated.
@@ -254,6 +255,104 @@ impl RegressionTree {
                 importance[*feature] += gain;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codecs (`serde::binary`).
+
+impl Encode for SplitMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SplitMode::Exact => 0u8.encode(out),
+            SplitMode::Histogram { bins } => {
+                1u8.encode(out);
+                bins.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for SplitMode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(SplitMode::Exact),
+            1 => Ok(SplitMode::Histogram {
+                bins: usize::decode(r)?,
+            }),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+}
+
+impl Encode for Node {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Node::Leaf { weight } => {
+                0u8.encode(out);
+                weight.encode(out);
+            }
+            Node::Split {
+                feature,
+                threshold,
+                gain,
+                left,
+                right,
+            } => {
+                1u8.encode(out);
+                feature.encode(out);
+                threshold.encode(out);
+                gain.encode(out);
+                left.encode(out);
+                right.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Node {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Node::Leaf {
+                weight: f64::decode(r)?,
+            }),
+            1 => Ok(Node::Split {
+                feature: usize::decode(r)?,
+                threshold: f64::decode(r)?,
+                gain: f64::decode(r)?,
+                left: usize::decode(r)?,
+                right: usize::decode(r)?,
+            }),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+}
+
+impl Encode for RegressionTree {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.nodes.encode(out);
+    }
+}
+
+impl Decode for RegressionTree {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let nodes = Vec::<Node>::decode(r)?;
+        if nodes.is_empty() {
+            return Err(DecodeError::Invalid);
+        }
+        // `build` reserves a parent's slot before recursing, so children
+        // always carry strictly larger indices; enforcing that here makes
+        // `predict` provably terminating on decoded trees.
+        for (idx, node) in nodes.iter().enumerate() {
+            if let Node::Split { left, right, .. } = node {
+                let valid =
+                    *left > idx && *right > idx && *left < nodes.len() && *right < nodes.len();
+                if !valid {
+                    return Err(DecodeError::Invalid);
+                }
+            }
+        }
+        Ok(Self { nodes })
     }
 }
 

@@ -1,5 +1,7 @@
 //! Virtual time.
 
+use serde::binary::{Decode, DecodeError, Encode, Reader};
+
 /// A monotone virtual clock, in seconds since the start of the run.
 ///
 /// The runtime is a discrete-event simulation: time only moves when the
@@ -48,6 +50,22 @@ impl VirtualClock {
     }
 }
 
+impl Encode for VirtualClock {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.now_secs.encode(out);
+    }
+}
+
+impl Decode for VirtualClock {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let now_secs = f64::decode(r)?;
+        if now_secs.is_nan() || now_secs < 0.0 {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self { now_secs })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +91,16 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn rejects_nan() {
         VirtualClock::new().advance_to(f64::NAN);
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_negative_time() {
+        let mut clock = VirtualClock::new();
+        clock.advance_to(4321.25);
+        assert_eq!(VirtualClock::from_bytes(&clock.to_bytes()), Ok(clock));
+        assert_eq!(
+            VirtualClock::from_bytes(&(-1.0f64).to_bytes()),
+            Err(DecodeError::Invalid)
+        );
     }
 }

@@ -1,5 +1,7 @@
 //! Runtime configuration.
 
+use serde::binary::{Decode, DecodeError, Encode, Reader};
+
 /// Configuration of the event-driven runtime: the sensing cadence, how many
 /// cycles may be in flight, and the per-HIT timeout/repost policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +76,13 @@ impl RuntimeConfig {
             self.cycle_period_secs > 0.0,
             "cycle period must be positive"
         );
+        // An infinite (or NaN-producing) period validates as `> 0` but later
+        // NaN-panics deep inside `EventQueue::schedule` when arrival times
+        // are computed — reject it here, at the configuration boundary.
+        assert!(
+            self.cycle_period_secs.is_finite(),
+            "cycle period must be finite"
+        );
         assert!(
             self.inflight_window > 0,
             "window must admit at least one cycle"
@@ -84,7 +93,45 @@ impl RuntimeConfig {
         );
         if let Some(t) = self.hit_timeout_secs {
             assert!(t > 0.0, "HIT timeout must be positive");
+            assert!(t.is_finite(), "HIT timeout must be finite");
         }
+    }
+
+    /// Non-panicking mirror of [`RuntimeConfig::validate`] for decode paths.
+    pub(crate) fn is_valid(&self) -> bool {
+        self.cycle_period_secs.is_finite()
+            && self.cycle_period_secs > 0.0
+            && self.inflight_window > 0
+            && self.max_post_attempts >= 1
+            && self
+                .hit_timeout_secs
+                .is_none_or(|t| t.is_finite() && t > 0.0)
+    }
+}
+
+impl Encode for RuntimeConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cycle_period_secs.encode(out);
+        self.inflight_window.encode(out);
+        self.hit_timeout_secs.encode(out);
+        self.max_post_attempts.encode(out);
+        self.escalate_on_repost.encode(out);
+    }
+}
+
+impl Decode for RuntimeConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let config = Self {
+            cycle_period_secs: f64::decode(r)?,
+            inflight_window: usize::decode(r)?,
+            hit_timeout_secs: Option::<f64>::decode(r)?,
+            max_post_attempts: u32::decode(r)?,
+            escalate_on_repost: bool::decode(r)?,
+        };
+        if !config.is_valid() {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(config)
     }
 }
 
@@ -109,5 +156,34 @@ mod tests {
     #[should_panic(expected = "at least one cycle")]
     fn zero_window_rejected() {
         RuntimeConfig::paper().with_inflight_window(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle period must be finite")]
+    fn infinite_cycle_period_rejected() {
+        RuntimeConfig::paper()
+            .with_cycle_period_secs(f64::INFINITY)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "HIT timeout must be finite")]
+    fn infinite_hit_timeout_rejected() {
+        RuntimeConfig::paper()
+            .with_hit_timeout(Some(f64::INFINITY), 2)
+            .validate();
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_invalid() {
+        let config = RuntimeConfig::paper().with_hit_timeout(Some(900.0), 3);
+        assert_eq!(RuntimeConfig::from_bytes(&config.to_bytes()), Ok(config));
+
+        let mut bad = RuntimeConfig::paper();
+        bad.cycle_period_secs = f64::INFINITY;
+        assert_eq!(
+            RuntimeConfig::from_bytes(&bad.to_bytes()),
+            Err(DecodeError::Invalid)
+        );
     }
 }

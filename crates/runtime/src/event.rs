@@ -1,14 +1,16 @@
 //! The typed event vocabulary of the pipelined runtime.
 
 use crate::HitId;
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use std::cmp::Ordering;
 
 /// What happens at a virtual instant.
 ///
-/// Six event kinds cover the whole CrowdLearn loop once crowd waits are
+/// Seven event kinds cover the whole CrowdLearn loop once crowd waits are
 /// asynchronous: cycles arrive on the sensing cadence, AI inference
 /// completes after the committee's execution delay, HITs are posted /
-/// answered / expired on the platform, and retraining closes a cycle out.
+/// answered / expired on the platform (with a late-answer completion for
+/// expired HITs that are waited out), and retraining closes a cycle out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A sensing cycle's imagery arrived (paper Definition 1: one batch
@@ -45,6 +47,15 @@ pub enum EventKind {
         /// The expired HIT.
         hit: HitId,
     },
+    /// A HIT that already timed out (and was out of repost attempts) has
+    /// finally been answered by its workers; the late answer is absorbed at
+    /// its true completion time, not the timeout instant.
+    LateAnswer {
+        /// Cycle the query belongs to.
+        cycle: usize,
+        /// The waited-out HIT.
+        hit: HitId,
+    },
     /// MIC finished the cycle's weight update + retrain; the cycle's
     /// pipeline slot is free.
     RetrainDone {
@@ -62,6 +73,7 @@ impl EventKind {
             | EventKind::HitPosted { cycle, .. }
             | EventKind::HitAnswered { cycle, .. }
             | EventKind::HitTimedOut { cycle, .. }
+            | EventKind::LateAnswer { cycle, .. }
             | EventKind::RetrainDone { cycle } => cycle,
         }
     }
@@ -100,6 +112,101 @@ impl PartialOrd for Event {
     }
 }
 
+// Snapshot codec: each kind is a stable u8 tag followed by its fields.
+// `LateAnswer` takes tag 6 (added after `RetrainDone`) so the five original
+// payload-bearing tags stay what they were in format version 1.
+impl Encode for EventKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            EventKind::CycleArrival { cycle } => {
+                0u8.encode(out);
+                cycle.encode(out);
+            }
+            EventKind::InferenceDone { cycle } => {
+                1u8.encode(out);
+                cycle.encode(out);
+            }
+            EventKind::HitPosted { cycle, hit } => {
+                2u8.encode(out);
+                cycle.encode(out);
+                hit.encode(out);
+            }
+            EventKind::HitAnswered { cycle, hit } => {
+                3u8.encode(out);
+                cycle.encode(out);
+                hit.encode(out);
+            }
+            EventKind::HitTimedOut { cycle, hit } => {
+                4u8.encode(out);
+                cycle.encode(out);
+                hit.encode(out);
+            }
+            EventKind::RetrainDone { cycle } => {
+                5u8.encode(out);
+                cycle.encode(out);
+            }
+            EventKind::LateAnswer { cycle, hit } => {
+                6u8.encode(out);
+                cycle.encode(out);
+                hit.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for EventKind {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(EventKind::CycleArrival {
+                cycle: usize::decode(r)?,
+            }),
+            1 => Ok(EventKind::InferenceDone {
+                cycle: usize::decode(r)?,
+            }),
+            2 => Ok(EventKind::HitPosted {
+                cycle: usize::decode(r)?,
+                hit: HitId::decode(r)?,
+            }),
+            3 => Ok(EventKind::HitAnswered {
+                cycle: usize::decode(r)?,
+                hit: HitId::decode(r)?,
+            }),
+            4 => Ok(EventKind::HitTimedOut {
+                cycle: usize::decode(r)?,
+                hit: HitId::decode(r)?,
+            }),
+            5 => Ok(EventKind::RetrainDone {
+                cycle: usize::decode(r)?,
+            }),
+            6 => Ok(EventKind::LateAnswer {
+                cycle: usize::decode(r)?,
+                hit: HitId::decode(r)?,
+            }),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+}
+
+impl Encode for Event {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at_secs.encode(out);
+        self.seq.encode(out);
+        self.kind.encode(out);
+    }
+}
+
+impl Decode for Event {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let at_secs = f64::decode(r)?;
+        let seq = u64::decode(r)?;
+        let kind = EventKind::decode(r)?;
+        if at_secs.is_nan() || at_secs < 0.0 {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self { at_secs, seq, kind })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +242,47 @@ mod tests {
             .cycle(),
             3
         );
+        assert_eq!(
+            EventKind::LateAnswer {
+                cycle: 4,
+                hit: HitId(2)
+            }
+            .cycle(),
+            4
+        );
+    }
+
+    #[test]
+    fn codec_round_trips_every_kind() {
+        let kinds = [
+            EventKind::CycleArrival { cycle: 1 },
+            EventKind::InferenceDone { cycle: 2 },
+            EventKind::HitPosted {
+                cycle: 3,
+                hit: HitId(10),
+            },
+            EventKind::HitAnswered {
+                cycle: 4,
+                hit: HitId(11),
+            },
+            EventKind::HitTimedOut {
+                cycle: 5,
+                hit: HitId(12),
+            },
+            EventKind::RetrainDone { cycle: 6 },
+            EventKind::LateAnswer {
+                cycle: 7,
+                hit: HitId(13),
+            },
+        ];
+        for (seq, kind) in kinds.into_iter().enumerate() {
+            let event = Event {
+                at_secs: 100.5 * (seq as f64 + 1.0),
+                seq: seq as u64,
+                kind,
+            };
+            assert_eq!(Event::from_bytes(&event.to_bytes()), Ok(event));
+        }
+        assert_eq!(Event::from_bytes(&[7u8]), Err(DecodeError::Truncated));
     }
 }

@@ -1,6 +1,7 @@
 //! In-flight HIT tracking.
 
 use crowdlearn_crowd::{IncentiveLevel, PendingHit};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use std::collections::BTreeMap;
 
 /// Identifier of a posted HIT, unique within one runtime run.
@@ -86,6 +87,19 @@ impl HitBoard {
             .expect("invariant: a HIT is resolved twice or was never posted")
     }
 
+    /// Puts a previously taken HIT back in flight under its original id —
+    /// the waited-out-timeout path, where the expired HIT stays on the board
+    /// until its `LateAnswer` event fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already in flight.
+    pub fn reinstate(&mut self, hit: InFlightHit) {
+        let prior = self.inflight.insert(hit.id, hit);
+        assert!(prior.is_none(), "cannot reinstate a HIT already in flight");
+        self.peak = self.peak.max(self.inflight.len());
+    }
+
     /// HITs currently in flight.
     pub fn in_flight(&self) -> usize {
         self.inflight.len()
@@ -99,6 +113,84 @@ impl HitBoard {
     /// Total HITs ever posted.
     pub fn total_posted(&self) -> u64 {
         self.next_id
+    }
+}
+
+impl Encode for HitId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for HitId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self(u64::decode(r)?))
+    }
+}
+
+impl Encode for InFlightHit {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.cycle.encode(out);
+        self.image_index.encode(out);
+        self.incentive.encode(out);
+        self.posted_at_secs.encode(out);
+        self.attempt.encode(out);
+        self.pending.encode(out);
+    }
+}
+
+impl Decode for InFlightHit {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let hit = Self {
+            id: HitId::decode(r)?,
+            cycle: usize::decode(r)?,
+            image_index: usize::decode(r)?,
+            incentive: IncentiveLevel::decode(r)?,
+            posted_at_secs: f64::decode(r)?,
+            attempt: u32::decode(r)?,
+            pending: PendingHit::decode(r)?,
+        };
+        if !hit.posted_at_secs.is_finite() || hit.posted_at_secs < 0.0 || hit.attempt < 1 {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(hit)
+    }
+}
+
+// The board serializes as its in-flight HITs (already id-sorted by the
+// BTreeMap) plus the id counter and high-water mark.
+impl Encode for HitBoard {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.inflight.len().encode(out);
+        for hit in self.inflight.values() {
+            hit.encode(out);
+        }
+        self.next_id.encode(out);
+        self.peak.encode(out);
+    }
+}
+
+impl Decode for HitBoard {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = usize::decode(r)?;
+        let mut inflight = BTreeMap::new();
+        for _ in 0..n {
+            let hit = InFlightHit::decode(r)?;
+            if inflight.insert(hit.id, hit).is_some() {
+                return Err(DecodeError::Invalid);
+            }
+        }
+        let next_id = u64::decode(r)?;
+        let peak = usize::decode(r)?;
+        if inflight.keys().any(|id| id.0 >= next_id) || peak < inflight.len() {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(Self {
+            inflight,
+            next_id,
+            peak,
+        })
     }
 }
 
@@ -134,5 +226,57 @@ mod tests {
         let id = board.post(0, 0, IncentiveLevel::C1, 0.0, 1, pending());
         board.take(id);
         board.take(id);
+    }
+
+    #[test]
+    fn reinstate_restores_the_same_id() {
+        let mut board = HitBoard::new();
+        let id = board.post(2, 5, IncentiveLevel::C8, 30.0, 1, pending());
+        let hit = board.take(id);
+        assert_eq!(board.in_flight(), 0);
+        board.reinstate(hit);
+        assert_eq!(board.in_flight(), 1);
+        let back = board.take(id);
+        assert_eq!(back.id, id);
+        assert_eq!(back.image_index, 5);
+        assert_eq!(board.total_posted(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn reinstate_of_live_hit_panics() {
+        let mut board = HitBoard::new();
+        let id = board.post(0, 0, IncentiveLevel::C1, 0.0, 1, pending());
+        let copy = InFlightHit {
+            pending: pending(),
+            ..board.take(id)
+        };
+        board.reinstate(copy);
+        let dup = InFlightHit {
+            pending: pending(),
+            id,
+            cycle: 0,
+            image_index: 0,
+            incentive: IncentiveLevel::C1,
+            posted_at_secs: 0.0,
+            attempt: 1,
+        };
+        board.reinstate(dup);
+    }
+
+    #[test]
+    fn codec_round_trips_the_board() {
+        let mut board = HitBoard::new();
+        board.post(0, 1, IncentiveLevel::C6, 0.0, 1, pending());
+        let gone = board.post(1, 2, IncentiveLevel::C10, 12.5, 2, pending());
+        board.post(2, 3, IncentiveLevel::C2, 40.0, 1, pending());
+        board.take(gone);
+
+        let back = HitBoard::from_bytes(&board.to_bytes()).expect("round trip");
+        assert_eq!(back.in_flight(), board.in_flight());
+        assert_eq!(back.peak_in_flight(), board.peak_in_flight());
+        assert_eq!(back.total_posted(), board.total_posted());
+        let ids: Vec<HitId> = back.inflight.keys().copied().collect();
+        assert_eq!(ids, vec![HitId(0), HitId(2)]);
     }
 }

@@ -14,14 +14,18 @@
 //! - [`EventQueue`] — a binary-heap queue of typed [`Event`]s ordered by
 //!   `(due time, scheduling order)`, so simultaneous events resolve
 //!   deterministically.
-//! - [`EventKind`] — the six-event vocabulary of the loop: cycle arrivals,
-//!   inference completions, HIT postings/answers/timeouts, retrain
-//!   completions.
+//! - [`EventKind`] — the seven-event vocabulary of the loop: cycle
+//!   arrivals, inference completions, HIT postings/answers/timeouts,
+//!   late answers of waited-out HITs, retrain completions.
 //! - [`HitBoard`] — the in-flight HIT table with its high-water mark.
 //! - [`PipelinedSystem`] — the CrowdLearn modules (QSS/IPD/CQC/MIC)
 //!   re-driven as event handlers over the reentrant cycle stages the core
 //!   crate exposes, with bounded cycle overlap (backpressure), per-HIT
 //!   timeouts, and incentive-escalated reposts charged to the same budget.
+//!   Execution is reentrant ([`PipelinedSystem::step`] /
+//!   [`PipelinedSystem::run_until`]) and checkpointable at any event
+//!   boundary into a versioned, checksummed [`RuntimeSnapshot`] that
+//!   [`PipelinedSystem::resume`] restores to a byte-identical continuation.
 //! - [`ParallelSweep`] — scoped-thread executor running one independently
 //!   seeded experiment per sweep point, returning results in input order.
 //!
@@ -47,12 +51,14 @@ mod event;
 mod hit;
 mod pipeline;
 mod queue;
+mod snapshot;
 mod sweep;
 
 pub use clock::VirtualClock;
 pub use config::RuntimeConfig;
 pub use event::{Event, EventKind};
 pub use hit::{HitBoard, HitId, InFlightHit};
-pub use pipeline::{blocking_makespan_secs, PipelinedSystem, RuntimeReport};
+pub use pipeline::{blocking_makespan_secs, PipelinedSystem, RunBound, RuntimeReport};
 pub use queue::EventQueue;
+pub use snapshot::{RuntimeSnapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use sweep::ParallelSweep;

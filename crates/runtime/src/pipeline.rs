@@ -1,10 +1,14 @@
 //! The pipelined CrowdLearn system: the paper's closed loop re-driven as a
 //! discrete-event simulation so crowd waits overlap computation.
 
-use crate::{EventKind, EventQueue, HitBoard, HitId, RuntimeConfig, VirtualClock};
+use crate::{
+    EventKind, EventQueue, HitBoard, HitId, RuntimeConfig, RuntimeSnapshot, SnapshotError,
+    VirtualClock,
+};
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem, CycleOutcome, CycleWork, SchemeReport};
 use crowdlearn_crowd::IncentiveLevel;
 use crowdlearn_dataset::{Dataset, SensingCycle, SensingCycleStream};
+use serde::binary::{Decode, DecodeError, Encode, Reader};
 use std::collections::{BTreeMap, VecDeque};
 
 /// What a pipelined run produced, beyond the usual quality report: the
@@ -48,6 +52,16 @@ pub fn blocking_makespan_secs(outcomes: &[CycleOutcome], cycle_period_secs: f64)
     t
 }
 
+/// How far [`PipelinedSystem::run_until`] drives the event loop before
+/// yielding control back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunBound {
+    /// Process at most this many further events.
+    Events(u64),
+    /// Process events due at or before this virtual time (seconds).
+    VirtualTime(f64),
+}
+
 /// The CrowdLearn closed loop driven by an event queue over virtual time.
 ///
 /// Within a cycle, queries chain exactly as the blocking system issues
@@ -59,9 +73,17 @@ pub fn blocking_makespan_secs(outcomes: &[CycleOutcome], cycle_period_secs: f64)
 /// event loop degenerates to the blocking system's exact module-call order,
 /// which is what the golden test pins: identical per-image labels, cycle by
 /// cycle.
+///
+/// Execution is reentrant: [`PipelinedSystem::run`] is a convenience over
+/// [`PipelinedSystem::step`]/[`PipelinedSystem::run_until`], which pause at
+/// any event boundary. A paused system can be checkpointed with
+/// [`PipelinedSystem::snapshot`] and later rebuilt — in another process —
+/// with [`PipelinedSystem::resume`]; the resumed run replays the remaining
+/// events identically, byte for byte.
 pub struct PipelinedSystem {
     system: CrowdLearnSystem,
     config: RuntimeConfig,
+    exec: Option<ExecState>,
 }
 
 impl PipelinedSystem {
@@ -73,6 +95,7 @@ impl PipelinedSystem {
         Self {
             system: CrowdLearnSystem::new(dataset, config),
             config: runtime,
+            exec: None,
         }
     }
 
@@ -82,6 +105,7 @@ impl PipelinedSystem {
         Self {
             system,
             config: runtime,
+            exec: None,
         }
     }
 
@@ -95,100 +119,125 @@ impl PipelinedSystem {
         &self.system
     }
 
-    /// Runs the whole stream through the event loop and reports quality
-    /// plus virtual-time telemetry.
-    pub fn run(&mut self, dataset: &Dataset, stream: &SensingCycleStream) -> RuntimeReport {
-        let driver = Driver {
+    /// Whether an execution is in progress (started and not yet drained
+    /// into a report).
+    pub fn is_running(&self) -> bool {
+        self.exec.is_some()
+    }
+
+    /// Events processed so far in the current execution, or `None` when no
+    /// execution is in progress.
+    pub fn events_processed(&self) -> Option<u64> {
+        self.exec.as_ref().map(|e| e.events_processed)
+    }
+
+    /// The current virtual time, or `None` when no execution is in
+    /// progress.
+    pub fn virtual_now_secs(&self) -> Option<f64> {
+        self.exec.as_ref().map(|e| e.clock.now_secs())
+    }
+
+    /// Begins an execution over `stream` if none is in progress: schedules
+    /// every cycle's arrival on the sensing cadence. Idempotent while an
+    /// execution is running.
+    pub fn start(&mut self, stream: &SensingCycleStream) {
+        if self.exec.is_none() {
+            self.exec = Some(ExecState::start(&self.config, stream.cycles().len()));
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the event queue has
+    /// drained — the execution is complete and the next
+    /// [`PipelinedSystem::run_until`] (or [`PipelinedSystem::run`]) call
+    /// produces the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` has a different cycle count than the stream this
+    /// execution started (or resumed) with.
+    pub fn step(&mut self, dataset: &Dataset, stream: &SensingCycleStream) -> bool {
+        self.start(stream);
+        let exec = self
+            .exec
+            .as_mut()
+            .expect("invariant: start() installs the execution state");
+        assert_eq!(
+            stream.cycles().len(),
+            exec.outcomes.len(),
+            "stream/execution cycle-count mismatch"
+        );
+        let Some(event) = exec.queue.pop() else {
+            return false;
+        };
+        exec.events_processed += 1;
+        exec.clock.advance_to(event.at_secs);
+        Driver {
             system: &mut self.system,
             config: self.config,
             dataset,
             cycles: stream.cycles(),
-            clock: VirtualClock::new(),
-            queue: EventQueue::new(),
-            board: HitBoard::new(),
-            active: BTreeMap::new(),
-            waiting: VecDeque::new(),
-            slots_used: 0,
-            outcomes: (0..stream.cycles().len()).map(|_| None).collect(),
-            completed_at_secs: vec![0.0; stream.cycles().len()],
-            peak_cycles_in_flight: 0,
-            timeouts: 0,
-            reposts: 0,
-        };
-        driver.run()
-    }
-}
-
-/// All the mutable state of one event-loop execution.
-struct Driver<'a> {
-    system: &'a mut CrowdLearnSystem,
-    config: RuntimeConfig,
-    dataset: &'a Dataset,
-    cycles: &'a [SensingCycle],
-    clock: VirtualClock,
-    queue: EventQueue,
-    board: HitBoard,
-    /// Cycles whose inference has completed and whose queries are live.
-    active: BTreeMap<usize, CycleWork>,
-    /// Cycles that have arrived but exceed the in-flight window.
-    waiting: VecDeque<usize>,
-    /// Cycles admitted (inference scheduled or active) and not yet retired.
-    slots_used: usize,
-    outcomes: Vec<Option<CycleOutcome>>,
-    completed_at_secs: Vec<f64>,
-    peak_cycles_in_flight: usize,
-    timeouts: u64,
-    reposts: u64,
-}
-
-impl Driver<'_> {
-    fn run(mut self) -> RuntimeReport {
-        for k in 0..self.cycles.len() {
-            self.queue.schedule(
-                k as f64 * self.config.cycle_period_secs,
-                EventKind::CycleArrival { cycle: k },
-            );
+            exec,
         }
+        .handle(event.kind);
+        true
+    }
 
-        let mut events = 0u64;
-        while let Some(event) = self.queue.pop() {
-            self.clock.advance_to(event.at_secs);
-            events += 1;
-            match event.kind {
-                EventKind::CycleArrival { cycle } => {
-                    self.waiting.push_back(cycle);
-                    self.try_admit();
+    /// Drives the event loop until `bound` is exhausted or the queue
+    /// drains. Returns the report when the execution completes, `None` when
+    /// it pauses at an event boundary — ready for more `run_until` calls or
+    /// a [`PipelinedSystem::snapshot`].
+    pub fn run_until(
+        &mut self,
+        dataset: &Dataset,
+        stream: &SensingCycleStream,
+        bound: RunBound,
+    ) -> Option<RuntimeReport> {
+        self.start(stream);
+        let mut remaining = match bound {
+            RunBound::Events(n) => n,
+            RunBound::VirtualTime(_) => u64::MAX,
+        };
+        loop {
+            {
+                let exec = self
+                    .exec
+                    .as_ref()
+                    .expect("invariant: start() installs the execution state");
+                let Some(next) = exec.queue.peek() else {
+                    break;
+                };
+                if remaining == 0 {
+                    return None;
                 }
-                EventKind::InferenceDone { cycle } => {
-                    let work = self.system.start_cycle(&self.cycles[cycle], self.dataset);
-                    self.active.insert(cycle, work);
-                    self.peak_cycles_in_flight = self.peak_cycles_in_flight.max(self.active.len());
-                    self.post_or_finalize(cycle);
-                }
-                // Informational marker emitted when a HIT goes up; the
-                // posting itself happened when it was scheduled.
-                EventKind::HitPosted { .. } => {}
-                EventKind::HitAnswered { cycle, hit } => self.on_answered(cycle, hit),
-                EventKind::HitTimedOut { cycle, hit } => self.on_timed_out(cycle, hit),
-                EventKind::RetrainDone { cycle } => {
-                    let work = self
-                        .active
-                        .remove(&cycle)
-                        .expect("invariant: RetrainDone only fires for an active cycle");
-                    let outcome =
-                        self.system
-                            .finalize_cycle(work, &self.cycles[cycle], self.dataset);
-                    self.completed_at_secs[cycle] = self.clock.now_secs();
-                    self.outcomes[cycle] = Some(outcome);
-                    self.slots_used -= 1;
-                    self.try_admit();
+                if let RunBound::VirtualTime(t) = bound {
+                    if next.at_secs > t {
+                        return None;
+                    }
                 }
             }
+            let stepped = self.step(dataset, stream);
+            debug_assert!(stepped, "peeked event must pop");
+            remaining -= 1;
         }
+        Some(self.finish())
+    }
 
-        assert!(self.waiting.is_empty(), "cycles left waiting at drain");
-        assert_eq!(self.board.in_flight(), 0, "HITs left in flight at drain");
-        let outcomes: Vec<CycleOutcome> = self
+    /// Runs the whole stream through the event loop and reports quality
+    /// plus virtual-time telemetry.
+    pub fn run(&mut self, dataset: &Dataset, stream: &SensingCycleStream) -> RuntimeReport {
+        self.run_until(dataset, stream, RunBound::Events(u64::MAX))
+            .expect("invariant: an unbounded run drains the event queue")
+    }
+
+    /// Closes out a drained execution into its report.
+    fn finish(&mut self) -> RuntimeReport {
+        let exec = self
+            .exec
+            .take()
+            .expect("invariant: finish() only follows a drained execution");
+        assert!(exec.waiting.is_empty(), "cycles left waiting at drain");
+        assert_eq!(exec.board.in_flight(), 0, "HITs left in flight at drain");
+        let outcomes: Vec<CycleOutcome> = exec
             .outcomes
             .into_iter()
             .map(|o| {
@@ -199,32 +248,224 @@ impl Driver<'_> {
         for outcome in &outcomes {
             report.record_cycle(outcome);
         }
-        let makespan_secs = self.completed_at_secs.iter().copied().fold(0.0, f64::max);
+        let makespan_secs = exec.completed_at_secs.iter().copied().fold(0.0, f64::max);
         RuntimeReport {
             report,
             outcomes,
             makespan_secs,
-            completed_at_secs: self.completed_at_secs,
-            events_processed: events,
-            peak_cycles_in_flight: self.peak_cycles_in_flight,
-            peak_hits_in_flight: self.board.peak_in_flight(),
-            timeouts: self.timeouts,
-            reposts: self.reposts,
+            completed_at_secs: exec.completed_at_secs,
+            events_processed: exec.events_processed,
+            peak_cycles_in_flight: exec.peak_cycles_in_flight,
+            peak_hits_in_flight: exec.board.peak_in_flight(),
+            timeouts: exec.timeouts,
+            reposts: exec.reposts,
+        }
+    }
+
+    /// Serializes the whole system — learned module state plus any
+    /// in-progress execution — at the current event boundary.
+    ///
+    /// Fails with [`SnapshotError::UnsupportedSystem`] when a component has
+    /// no serialized form (non-simulated classifiers, non-checkpointable
+    /// bandit policies).
+    pub fn snapshot(&self) -> Result<RuntimeSnapshot, SnapshotError> {
+        let mut payload = Vec::new();
+        self.config.encode(&mut payload);
+        self.system
+            .encode_state(&mut payload)
+            .map_err(SnapshotError::UnsupportedSystem)?;
+        self.exec.encode(&mut payload);
+        Ok(RuntimeSnapshot::seal(payload))
+    }
+
+    /// Rebuilds a system from a snapshot, against the same stream the
+    /// snapshotted run was processing (the stream itself is not serialized:
+    /// it regenerates deterministically from its dataset + seed, and resume
+    /// cross-checks the cycle count).
+    pub fn resume(
+        snapshot: &RuntimeSnapshot,
+        stream: &SensingCycleStream,
+    ) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(snapshot.payload());
+        let config = RuntimeConfig::decode(&mut r).map_err(SnapshotError::Corrupt)?;
+        let system = CrowdLearnSystem::decode_state(&mut r).map_err(SnapshotError::Corrupt)?;
+        let exec = Option::<ExecState>::decode(&mut r).map_err(SnapshotError::Corrupt)?;
+        if !r.is_empty() {
+            return Err(SnapshotError::Corrupt(DecodeError::Invalid));
+        }
+        if let Some(exec) = &exec {
+            if exec.outcomes.len() != stream.cycles().len() {
+                return Err(SnapshotError::CycleCountMismatch {
+                    expected: exec.outcomes.len(),
+                    found: stream.cycles().len(),
+                });
+            }
+        }
+        Ok(Self {
+            system,
+            config,
+            exec,
+        })
+    }
+}
+
+/// All the mutable state of one event-loop execution — everything that
+/// must survive a pause/snapshot for the run to continue identically.
+struct ExecState {
+    clock: VirtualClock,
+    queue: EventQueue,
+    board: HitBoard,
+    /// Cycles whose inference has completed and whose queries are live.
+    active: BTreeMap<usize, CycleWork>,
+    /// Cycles that have arrived but exceed the in-flight window.
+    waiting: VecDeque<usize>,
+    /// Cycles admitted (inference scheduled or active) and not yet retired.
+    slots_used: usize,
+    events_processed: u64,
+    outcomes: Vec<Option<CycleOutcome>>,
+    completed_at_secs: Vec<f64>,
+    peak_cycles_in_flight: usize,
+    timeouts: u64,
+    reposts: u64,
+}
+
+impl ExecState {
+    /// A fresh execution: every cycle's arrival scheduled on the cadence.
+    fn start(config: &RuntimeConfig, n_cycles: usize) -> Self {
+        let mut queue = EventQueue::new();
+        for k in 0..n_cycles {
+            queue.schedule(
+                k as f64 * config.cycle_period_secs,
+                EventKind::CycleArrival { cycle: k },
+            );
+        }
+        Self {
+            clock: VirtualClock::new(),
+            queue,
+            board: HitBoard::new(),
+            active: BTreeMap::new(),
+            waiting: VecDeque::new(),
+            slots_used: 0,
+            events_processed: 0,
+            outcomes: (0..n_cycles).map(|_| None).collect(),
+            completed_at_secs: vec![0.0; n_cycles],
+            peak_cycles_in_flight: 0,
+            timeouts: 0,
+            reposts: 0,
+        }
+    }
+}
+
+impl Encode for ExecState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.clock.encode(out);
+        self.queue.encode(out);
+        self.board.encode(out);
+        self.active.encode(out);
+        self.waiting.encode(out);
+        self.slots_used.encode(out);
+        self.events_processed.encode(out);
+        self.outcomes.encode(out);
+        self.completed_at_secs.encode(out);
+        self.peak_cycles_in_flight.encode(out);
+        self.timeouts.encode(out);
+        self.reposts.encode(out);
+    }
+}
+
+impl Decode for ExecState {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let state = Self {
+            clock: VirtualClock::decode(r)?,
+            queue: EventQueue::decode(r)?,
+            board: HitBoard::decode(r)?,
+            active: BTreeMap::<usize, CycleWork>::decode(r)?,
+            waiting: VecDeque::<usize>::decode(r)?,
+            slots_used: usize::decode(r)?,
+            events_processed: u64::decode(r)?,
+            outcomes: Vec::<Option<CycleOutcome>>::decode(r)?,
+            completed_at_secs: Vec::<f64>::decode(r)?,
+            peak_cycles_in_flight: usize::decode(r)?,
+            timeouts: u64::decode(r)?,
+            reposts: u64::decode(r)?,
+        };
+        let n = state.outcomes.len();
+        let cycle_indices_in_range = state.active.keys().all(|&k| k < n)
+            && state.waiting.iter().all(|&k| k < n)
+            && state.completed_at_secs.len() == n;
+        if !cycle_indices_in_range
+            || state.peak_cycles_in_flight < state.active.len()
+            || state
+                .completed_at_secs
+                .iter()
+                .any(|t| !t.is_finite() || *t < 0.0)
+        {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(state)
+    }
+}
+
+/// A transient view over one [`PipelinedSystem`]'s modules, inputs, and
+/// execution state — the event handlers. Rebuilt per event, so the system
+/// can pause (and snapshot) between any two events.
+struct Driver<'a> {
+    system: &'a mut CrowdLearnSystem,
+    config: RuntimeConfig,
+    dataset: &'a Dataset,
+    cycles: &'a [SensingCycle],
+    exec: &'a mut ExecState,
+}
+
+impl Driver<'_> {
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::CycleArrival { cycle } => {
+                self.exec.waiting.push_back(cycle);
+                self.try_admit();
+            }
+            EventKind::InferenceDone { cycle } => {
+                let work = self.system.start_cycle(&self.cycles[cycle], self.dataset);
+                self.exec.active.insert(cycle, work);
+                self.exec.peak_cycles_in_flight =
+                    self.exec.peak_cycles_in_flight.max(self.exec.active.len());
+                self.post_or_finalize(cycle);
+            }
+            // Informational marker emitted when a HIT goes up; the
+            // posting itself happened when it was scheduled.
+            EventKind::HitPosted { .. } => {}
+            EventKind::HitAnswered { cycle, hit } => self.on_answered(cycle, hit),
+            EventKind::HitTimedOut { cycle, hit } => self.on_timed_out(cycle, hit),
+            EventKind::LateAnswer { cycle, hit } => self.on_late_answer(cycle, hit),
+            EventKind::RetrainDone { cycle } => {
+                let work = self
+                    .exec
+                    .active
+                    .remove(&cycle)
+                    .expect("invariant: RetrainDone only fires for an active cycle");
+                let outcome = self
+                    .system
+                    .finalize_cycle(work, &self.cycles[cycle], self.dataset);
+                self.exec.completed_at_secs[cycle] = self.exec.clock.now_secs();
+                self.exec.outcomes[cycle] = Some(outcome);
+                self.exec.slots_used -= 1;
+                self.try_admit();
+            }
         }
     }
 
     /// Admits waiting cycles while the pipeline window has room, scheduling
     /// each one's `InferenceDone` after the committee's execution delay.
     fn try_admit(&mut self) {
-        while self.slots_used < self.config.inflight_window {
-            let Some(k) = self.waiting.pop_front() else {
+        while self.exec.slots_used < self.config.inflight_window {
+            let Some(k) = self.exec.waiting.pop_front() else {
                 return;
             };
-            self.slots_used += 1;
+            self.exec.slots_used += 1;
             let batch = self.cycles[k].image_ids.len();
             let delay = self.system.algorithm_delay_secs(batch, k as u64);
-            self.queue.schedule(
-                self.clock.now_secs() + delay,
+            self.exec.queue.schedule(
+                self.exec.clock.now_secs() + delay,
                 EventKind::InferenceDone { cycle: k },
             );
         }
@@ -233,8 +474,9 @@ impl Driver<'_> {
     /// Posts cycle `k`'s next query, or — when nothing is left to post and
     /// nothing is outstanding — closes the cycle out.
     fn post_or_finalize(&mut self, k: usize) {
-        let now = self.clock.now_secs();
+        let now = self.exec.clock.now_secs();
         let work = self
+            .exec
             .active
             .get_mut(&k)
             .expect("invariant: HIT events only target active cycles");
@@ -244,7 +486,7 @@ impl Driver<'_> {
         {
             Some(posted) => {
                 let delay = posted.pending.completion_delay_secs();
-                let hit = self.board.post(
+                let hit = self.exec.board.post(
                     k,
                     posted.image_index,
                     posted.incentive,
@@ -256,7 +498,8 @@ impl Driver<'_> {
             }
             None => {
                 if work.outstanding() == 0 {
-                    self.queue
+                    self.exec
+                        .queue
                         .schedule(now, EventKind::RetrainDone { cycle: k });
                 }
             }
@@ -267,25 +510,28 @@ impl Driver<'_> {
     /// `HitAnswered` when every worker beats the timeout, `HitTimedOut`
     /// otherwise. Exactly one resolution event is scheduled per posted HIT.
     fn schedule_hit_events(&mut self, k: usize, hit: HitId, posted_at: f64, delay: f64) {
-        self.queue
+        self.exec
+            .queue
             .schedule(posted_at, EventKind::HitPosted { cycle: k, hit });
         match self.config.hit_timeout_secs {
-            Some(timeout) if delay > timeout => self.queue.schedule(
+            Some(timeout) if delay > timeout => self.exec.queue.schedule(
                 posted_at + timeout,
                 EventKind::HitTimedOut { cycle: k, hit },
             ),
             _ => self
+                .exec
                 .queue
                 .schedule(posted_at + delay, EventKind::HitAnswered { cycle: k, hit }),
         };
     }
 
     fn on_answered(&mut self, k: usize, hit: HitId) {
-        let inflight = self.board.take(hit);
+        let inflight = self.exec.board.take(hit);
         debug_assert_eq!(inflight.cycle, k);
         let response = inflight.pending.into_response();
         let timely = self.system.answer_is_timely(&response);
         let work = self
+            .exec
             .active
             .get_mut(&k)
             .expect("invariant: HIT events only target active cycles");
@@ -295,24 +541,24 @@ impl Driver<'_> {
     }
 
     /// A HIT expired. If attempts and budget allow, repost it at an
-    /// escalated incentive (the expired attempt feeds IPD a censored
-    /// delay observation — all we learned is "longer than the timeout").
-    /// Otherwise absorb the eventual answer as a late, learning-only
-    /// observation: it still updates Hedge weights and retraining but can
-    /// never offload its image.
+    /// escalated incentive. Either way the expired attempt feeds IPD a
+    /// censored delay observation — all we learned *at the timeout* is
+    /// "longer than the timeout" — so every posted attempt produces exactly
+    /// one IPD observation. When the HIT is not reposted it is waited out:
+    /// its workers still answer at the attempt's true completion time, so a
+    /// `LateAnswer` is scheduled there rather than absorbing the answer at
+    /// the timeout instant.
     fn on_timed_out(&mut self, k: usize, hit: HitId) {
-        self.timeouts += 1;
+        self.exec.timeouts += 1;
         let timeout = self
             .config
             .hit_timeout_secs
             .expect("invariant: HitTimedOut is only scheduled when a timeout is configured");
-        let inflight = self.board.take(hit);
+        let inflight = self.exec.board.take(hit);
         debug_assert_eq!(inflight.cycle, k);
-        let now = self.clock.now_secs();
-        let work = self
-            .active
-            .get_mut(&k)
-            .expect("invariant: HIT events only target active cycles");
+        let now = self.exec.clock.now_secs();
+        self.system
+            .observe_crowd_delay(inflight.pending.context(), inflight.incentive, timeout);
 
         if inflight.attempt < self.config.max_post_attempts {
             let level = if self.config.escalate_on_repost {
@@ -320,6 +566,11 @@ impl Driver<'_> {
             } else {
                 inflight.incentive
             };
+            let work = self
+                .exec
+                .active
+                .get_mut(&k)
+                .expect("invariant: HIT events only target active cycles");
             if let Some(posted) = self.system.repost_query(
                 work,
                 &self.cycles[k],
@@ -327,14 +578,9 @@ impl Driver<'_> {
                 inflight.image_index,
                 level,
             ) {
-                self.reposts += 1;
-                self.system.observe_crowd_delay(
-                    inflight.pending.context(),
-                    inflight.incentive,
-                    timeout,
-                );
+                self.exec.reposts += 1;
                 let delay = posted.pending.completion_delay_secs();
-                let new_hit = self.board.post(
+                let new_hit = self.exec.board.post(
                     k,
                     posted.image_index,
                     posted.incentive,
@@ -348,13 +594,32 @@ impl Driver<'_> {
         }
 
         // Out of attempts (or budget): wait the expired HIT out after all.
+        // Its answer completes at `posted_at + delay` — strictly after the
+        // timeout, since `HitTimedOut` is only scheduled when the delay
+        // exceeds the timeout — so absorption is deferred to a `LateAnswer`
+        // there instead of happening at the timeout instant.
+        let due = inflight.posted_at_secs + inflight.pending.completion_delay_secs();
+        let id = inflight.id;
+        self.exec.board.reinstate(inflight);
+        self.exec
+            .queue
+            .schedule(due, EventKind::LateAnswer { cycle: k, hit: id });
+    }
+
+    /// A waited-out HIT's workers finally answered: absorb the late answer
+    /// at its true completion time. IPD already got this attempt's censored
+    /// observation at the timeout, so the late absorb skips the IPD report.
+    fn on_late_answer(&mut self, k: usize, hit: HitId) {
+        let inflight = self.exec.board.take(hit);
+        debug_assert_eq!(inflight.cycle, k);
         let response = inflight.pending.into_response();
         let work = self
+            .exec
             .active
             .get_mut(&k)
             .expect("invariant: HIT events only target active cycles");
         self.system
-            .absorb_answer(work, inflight.image_index, &response, false);
+            .absorb_late_answer(work, inflight.image_index, &response);
         self.post_or_finalize(k);
     }
 }

@@ -1,0 +1,231 @@
+//! Versioned, checksummed runtime snapshots.
+//!
+//! A [`RuntimeSnapshot`] captures a [`crate::PipelinedSystem`] at an event
+//! boundary — the learned module state plus, mid-run, the whole execution
+//! state (clock, event queue, HIT board, per-cycle work). Resuming from it
+//! replays the remaining events exactly as the original run would have, so
+//! the final [`crate::RuntimeReport`] is byte-identical.
+//!
+//! The wire format frames the payload against corruption and format drift:
+//!
+//! ```text
+//! magic  b"CLSNAP\x00\x01"          8 bytes
+//! format version                     u32 LE
+//! payload length                     u64 LE
+//! FNV-1a-64 checksum of the payload  u64 LE
+//! payload                            length bytes
+//! ```
+//!
+//! The payload itself is the vendored binary codec's output:
+//! `RuntimeConfig`, then the core system state
+//! ([`crowdlearn::CrowdLearnSystem::encode_state`]), then the optional
+//! execution state. Floats travel as IEEE-754 bits, so round trips are
+//! bit-exact by construction.
+
+use crowdlearn::StateError;
+use serde::binary::DecodeError;
+
+/// Leading bytes of every snapshot.
+const MAGIC: [u8; 8] = *b"CLSNAP\x00\x01";
+
+/// Current snapshot format version. Bump on any payload layout change.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be produced or restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The system holds a component with no serialized form (a non-simulated
+    /// classifier or a non-checkpointable bandit policy).
+    UnsupportedSystem(StateError),
+    /// The bytes do not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot was written by a different format version.
+    VersionMismatch {
+        /// The version recorded in the snapshot.
+        found: u32,
+    },
+    /// The payload checksum does not match — the bytes were corrupted.
+    ChecksumMismatch,
+    /// The payload failed to decode or failed a state invariant.
+    Corrupt(DecodeError),
+    /// The stream handed to resume has a different cycle count than the
+    /// stream the snapshot was taken against.
+    CycleCountMismatch {
+        /// Cycles the snapshot expects.
+        expected: usize,
+        /// Cycles the provided stream has.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnsupportedSystem(e) => write!(f, "system is not checkpointable: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a runtime snapshot (bad magic)"),
+            SnapshotError::VersionMismatch { found } => write!(
+                f,
+                "snapshot format version {found} != supported {SNAPSHOT_FORMAT_VERSION}"
+            ),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
+            SnapshotError::Corrupt(e) => write!(f, "snapshot payload corrupt: {e}"),
+            SnapshotError::CycleCountMismatch { expected, found } => write!(
+                f,
+                "snapshot expects a {expected}-cycle stream, got {found} cycles"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A sealed snapshot: an opaque payload plus the framing that lets a later
+/// process validate it before trusting a single byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeSnapshot {
+    payload: Vec<u8>,
+}
+
+impl RuntimeSnapshot {
+    /// Wraps a freshly encoded payload (crate-internal: only
+    /// [`crate::PipelinedSystem::snapshot`] produces valid payloads).
+    pub(crate) fn seal(payload: Vec<u8>) -> Self {
+        Self { payload }
+    }
+
+    /// The raw payload bytes (already validated when this snapshot came
+    /// from [`RuntimeSnapshot::from_bytes`]).
+    pub(crate) fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The snapshot's serialized size in bytes, framing included.
+    pub fn serialized_len(&self) -> usize {
+        MAGIC.len() + 4 + 8 + 8 + self.payload.len()
+    }
+
+    /// Serializes the snapshot with its magic/version/length/checksum frame.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&self.payload).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Validates the frame (magic, version, length, checksum) and returns
+    /// the snapshot. The payload's *contents* are validated later, when
+    /// [`crate::PipelinedSystem::resume`] decodes them.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let header = MAGIC.len() + 4 + 8 + 8;
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < header {
+            return Err(SnapshotError::Corrupt(DecodeError::Truncated));
+        }
+        let version = u32::from_le_bytes(
+            bytes[8..12]
+                .try_into()
+                .expect("invariant: slice is 4 bytes"),
+        );
+        if version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::VersionMismatch { found: version });
+        }
+        let len = u64::from_le_bytes(
+            bytes[12..20]
+                .try_into()
+                .expect("invariant: slice is 8 bytes"),
+        );
+        let checksum = u64::from_le_bytes(
+            bytes[20..28]
+                .try_into()
+                .expect("invariant: slice is 8 bytes"),
+        );
+        let payload = &bytes[header..];
+        if payload.len() as u64 != len {
+            return Err(SnapshotError::Corrupt(if (payload.len() as u64) < len {
+                DecodeError::Truncated
+            } else {
+                DecodeError::Invalid
+            }));
+        }
+        if fnv1a64(payload) != checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        Ok(Self {
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+/// FNV-1a 64-bit over the payload — cheap, dependency-free, and plenty to
+/// catch torn writes and bit flips (this guards against accidents, not
+/// adversaries).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let snap = RuntimeSnapshot::seal(vec![1, 2, 3, 4, 5]);
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), snap.serialized_len());
+        assert_eq!(RuntimeSnapshot::from_bytes(&bytes), Ok(snap));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = RuntimeSnapshot::seal(vec![9; 16]).to_bytes();
+        bytes[0] ^= 0xff;
+        assert_eq!(
+            RuntimeSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_version_mismatch() {
+        let mut bytes = RuntimeSnapshot::seal(vec![9; 16]).to_bytes();
+        bytes[8] = 0xfe; // version LE low byte
+        assert_eq!(
+            RuntimeSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::VersionMismatch { found: 0xfe })
+        );
+    }
+
+    #[test]
+    fn rejects_corrupted_payload() {
+        let mut bytes = RuntimeSnapshot::seal(vec![9; 16]).to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(
+            RuntimeSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = RuntimeSnapshot::seal(vec![9; 16]).to_bytes();
+        assert_eq!(
+            RuntimeSnapshot::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(SnapshotError::Corrupt(DecodeError::Truncated))
+        );
+        assert_eq!(
+            RuntimeSnapshot::from_bytes(&bytes[..10]),
+            Err(SnapshotError::Corrupt(DecodeError::Truncated))
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Regression tests for the timeout path's timing and learning accounting.
+//!
+//! Two bugs lived here:
+//!
+//! 1. A timed-out HIT that was *not* reposted (out of attempts or budget)
+//!    used to be absorbed at the timeout instant, even though its workers
+//!    only finish at `posted_at + delay` — time travel that deflated cycle
+//!    completion times. It must be absorbed at its true completion time.
+//! 2. Only the repost path fed IPD the censored "delay ≥ timeout"
+//!    observation; the waited-out path fed nothing at the timeout and then
+//!    the *full* delay at absorb. Every posted attempt must produce exactly
+//!    one IPD observation.
+
+use crowdlearn::CrowdLearnConfig;
+use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+use crowdlearn_runtime::{PipelinedSystem, RuntimeConfig, RuntimeReport};
+
+const TIMEOUT_SECS: f64 = 120.0;
+
+fn timeout_run(max_attempts: u32) -> (RuntimeReport, u64) {
+    let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(11));
+    let stream = SensingCycleStream::new(&dataset, 6, 4);
+    let runtime = RuntimeConfig::sequential().with_hit_timeout(Some(TIMEOUT_SECS), max_attempts);
+    let mut system = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), runtime);
+    let observations_before = system.system().delay_observations();
+    let run = system.run(&dataset, &stream);
+    let observed = system.system().delay_observations() - observations_before;
+    (run, observed)
+}
+
+#[test]
+fn waited_out_hits_complete_at_their_true_answer_time() {
+    let (run, _) = timeout_run(1);
+    assert!(run.timeouts > 0, "timeout must actually fire");
+    assert_eq!(run.reposts, 0, "one attempt means no reposts");
+
+    // Sequential window: each cycle's queries chain serially, each absorbed
+    // at its true completion. So a cycle's completion time is at least its
+    // arrival plus inference plus the *sum of full query delays* — which the
+    // outcome's mean crowd delay recovers. Absorbing at the timeout instant
+    // (the old bug) caps each timed-out query's contribution at the timeout
+    // and breaks this inequality.
+    for (k, outcome) in run.outcomes.iter().enumerate() {
+        let queried = outcome.images.iter().filter(|i| i.queried).count() as f64;
+        let crowd_sum = outcome.crowd_delay_secs.unwrap_or(0.0) * queried;
+        let arrival = k as f64 * 600.0;
+        assert!(
+            run.completed_at_secs[k] >= arrival + outcome.algorithm_delay_secs + crowd_sum - 1e-6,
+            "cycle {k} completed at {} — before its answers ({arrival} + {} + {crowd_sum})",
+            run.completed_at_secs[k],
+            outcome.algorithm_delay_secs,
+        );
+    }
+
+    // And at least one waited-out answer took longer than the timeout, so
+    // its cycle's recorded delays must show a super-timeout value.
+    let max_delay = run
+        .outcomes
+        .iter()
+        .filter_map(|o| o.crowd_delay_secs)
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_delay > 0.0,
+        "run must actually exercise crowd queries to test the timeout path"
+    );
+}
+
+#[test]
+fn every_posted_attempt_feeds_exactly_one_ipd_observation() {
+    // No reposts: attempts == queries issued.
+    let (run, observed) = timeout_run(1);
+    assert!(run.timeouts > 0, "timeout must actually fire");
+    assert_eq!(
+        observed, run.report.queries_issued as u64,
+        "waited-out HITs must feed exactly one (censored) observation"
+    );
+
+    // With reposts: each repost is one extra posted attempt, and each
+    // attempt — answered, reposted, or waited out — observes exactly once.
+    let (run, observed) = timeout_run(3);
+    assert!(run.reposts > 0, "escalated reposts must actually fire");
+    assert_eq!(
+        observed,
+        run.report.queries_issued as u64 + run.reposts,
+        "attempts and IPD observations must match one-to-one"
+    );
+}

@@ -7,16 +7,32 @@
 
 use crowdlearn::CrowdLearnConfig;
 use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
-use crowdlearn_runtime::{PipelinedSystem, RuntimeConfig, RuntimeReport};
+use crowdlearn_runtime::{
+    PipelinedSystem, RunBound, RuntimeConfig, RuntimeReport, RuntimeSnapshot, SnapshotError,
+};
+
+fn dataset(seed: u64) -> Dataset {
+    Dataset::generate(&DatasetConfig::paper().with_seed(seed))
+}
+
+/// A window-3 runtime with a HIT timeout tight enough that timeouts,
+/// escalated reposts, *and* waited-out late answers all occur — so
+/// checkpoints cover the full event vocabulary and the reinstated-HIT
+/// board state.
+fn runtime_config() -> RuntimeConfig {
+    RuntimeConfig::paper()
+        .with_inflight_window(3)
+        .with_hit_timeout(Some(150.0), 2)
+}
+
+fn fresh_system(dataset: &Dataset) -> PipelinedSystem {
+    PipelinedSystem::new(dataset, CrowdLearnConfig::paper(), runtime_config())
+}
 
 fn short_run(seed: u64) -> RuntimeReport {
-    let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(seed));
+    let dataset = dataset(seed);
     let stream = SensingCycleStream::new(&dataset, 8, 5);
-    let mut system = PipelinedSystem::new(
-        &dataset,
-        CrowdLearnConfig::paper(),
-        RuntimeConfig::paper().with_inflight_window(3),
-    );
+    let mut system = fresh_system(&dataset);
     system.run(&dataset, &stream)
 }
 
@@ -52,4 +68,103 @@ fn different_seeds_actually_differ() {
         format!("{b:?}"),
         "seed must reach the pipeline"
     );
+}
+
+#[test]
+fn checkpoint_resume_is_byte_identical_at_sampled_event_boundaries() {
+    let baseline = short_run(7);
+    assert!(
+        baseline.timeouts > 0 && baseline.reposts > 0,
+        "fixture must exercise the timeout/repost machinery"
+    );
+    let dataset = dataset(7);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+    let total = baseline.events_processed;
+
+    // Pause at event boundaries spread across the whole run — including
+    // before the first event and exactly at the last — serialize through
+    // bytes, resume in a fresh system, and finish. Every resumed run must
+    // render the byte-identical report.
+    let cuts = [0, 1, total / 4, total / 2, (3 * total) / 4, total - 1];
+    for cut in cuts {
+        let mut system = fresh_system(&dataset);
+        let paused = system.run_until(&dataset, &stream, RunBound::Events(cut));
+        assert!(
+            paused.is_none(),
+            "cut {cut} of {total} must pause, not drain"
+        );
+        let bytes = system
+            .snapshot()
+            .expect("paper system is checkpointable")
+            .to_bytes();
+        let snapshot = RuntimeSnapshot::from_bytes(&bytes).expect("frame validates");
+        let mut resumed = PipelinedSystem::resume(&snapshot, &stream).expect("payload validates");
+        let report = resumed.run(&dataset, &stream);
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{baseline:?}"),
+            "resume from event boundary {cut}/{total} diverged"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_at_a_virtual_time_boundary() {
+    let baseline = short_run(7);
+    let dataset = dataset(7);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+
+    // Pause mid-run at a wall of virtual time instead of an event count.
+    let mut system = fresh_system(&dataset);
+    let paused = system.run_until(&dataset, &stream, RunBound::VirtualTime(1500.0));
+    assert!(
+        paused.is_none(),
+        "the run extends past 1500 virtual seconds"
+    );
+    assert!(system.virtual_now_secs().expect("running") <= 1500.0);
+    assert!(system.events_processed().expect("running") < baseline.events_processed);
+
+    let snapshot = system.snapshot().expect("checkpointable");
+    let mut resumed = PipelinedSystem::resume(&snapshot, &stream).expect("valid");
+    let report = resumed.run(&dataset, &stream);
+    assert_eq!(format!("{report:?}"), format!("{baseline:?}"));
+}
+
+#[test]
+fn snapshot_rejects_tampering_and_mismatched_streams() {
+    let dataset = dataset(7);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+    let mut system = fresh_system(&dataset);
+    assert!(system
+        .run_until(&dataset, &stream, RunBound::Events(40))
+        .is_none());
+    let bytes = system.snapshot().expect("checkpointable").to_bytes();
+
+    // Version drift must be detected before any payload is trusted.
+    let mut wrong_version = bytes.clone();
+    wrong_version[8] ^= 0x40;
+    assert!(matches!(
+        RuntimeSnapshot::from_bytes(&wrong_version),
+        Err(SnapshotError::VersionMismatch { .. })
+    ));
+
+    // A flipped payload bit fails the checksum.
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x01;
+    assert_eq!(
+        RuntimeSnapshot::from_bytes(&corrupt),
+        Err(SnapshotError::ChecksumMismatch)
+    );
+
+    // Resuming against a stream with a different cycle count is refused.
+    let snapshot = RuntimeSnapshot::from_bytes(&bytes).expect("untampered frame validates");
+    let short_stream = SensingCycleStream::new(&dataset, 5, 5);
+    assert!(matches!(
+        PipelinedSystem::resume(&snapshot, &short_stream),
+        Err(SnapshotError::CycleCountMismatch {
+            expected: 8,
+            found: 5
+        })
+    ));
 }

@@ -220,6 +220,36 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state: the four xoshiro256++ words.
+        ///
+        /// Together with [`StdRng::from_state`] this makes the stream
+        /// checkpointable: saving the state and restoring it later resumes
+        /// the exact same sequence of draws.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        ///
+        /// An all-zero state (a fixed point of xoshiro, never produced by a
+        /// seeded generator) is nudged to the same canonical state
+        /// `from_seed` uses, so restoring is total.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self {
+                    s: [
+                        0x9e37_79b9_7f4a_7c15,
+                        0xbf58_476d_1ce4_e5b9,
+                        0x94d0_49bb_1331_11eb,
+                        1,
+                    ],
+                };
+            }
+            Self { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 
@@ -359,6 +389,25 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
         let empty: [i32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut a = StdRng::seed_from_u64(23);
+        for _ in 0..17 {
+            a.gen::<f64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn zero_state_is_nudged_like_from_seed() {
+        let mut a = StdRng::from_state([0; 4]);
+        let mut b = StdRng::from_seed([0; 32]);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 
     #[test]

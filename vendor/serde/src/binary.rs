@@ -1,0 +1,393 @@
+//! A minimal deterministic binary codec — the one wire format the hermetic
+//! workspace actually uses (runtime snapshots).
+//!
+//! Design rules, chosen for checkpoint/resume of a deterministic simulation:
+//!
+//! * **Bit-exact floats.** `f64` round-trips through [`f64::to_bits`], so a
+//!   decoded state is *byte-identical* to the encoded one — including the
+//!   sign of zero and every last mantissa bit. No text formatting anywhere.
+//! * **Infallible encoding.** [`Encode::encode`] appends to a `Vec<u8>` and
+//!   cannot fail; fallibility lives entirely on the decode side, where a
+//!   foreign byte stream must be treated as untrusted input.
+//! * **Explicit lengths.** Every variable-length value is length-prefixed
+//!   (`u64`, little-endian); there are no delimiters to escape and no
+//!   self-describing tags. The format is therefore only readable against
+//!   the matching type — which is what the snapshot header's format-version
+//!   field is for.
+//! * **No panics on decode.** Malformed input surfaces as a
+//!   [`DecodeError`], never an assertion, so snapshot loading satisfies the
+//!   workspace's D4 (panic-paths) lint.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Why a decode failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// A tag or length field held a value the target type cannot represent.
+    Invalid,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated mid-value"),
+            DecodeError::Invalid => write!(f, "invalid tag or length"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over an encoded byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Decodes one value of `T` at the cursor.
+    pub fn read<T: Decode>(&mut self) -> Result<T, DecodeError> {
+        T::decode(self)
+    }
+}
+
+/// Types that can append their binary form to a buffer. Infallible: every
+/// in-memory value has an encoding.
+pub trait Encode {
+    /// Appends the value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: the value encoded into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Types that can be rebuilt from their binary form.
+pub trait Decode: Sized {
+    /// Reads one value at the cursor.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Convenience: decodes a value that must span `bytes` exactly.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let value = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(value)
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                let mut buf = [0u8; std::mem::size_of::<$t>()];
+                buf.copy_from_slice(bytes);
+                Ok(<$t>::from_le_bytes(buf))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i64);
+
+impl Encode for usize {
+    /// `usize` travels as `u64` so the format is pointer-width independent.
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        usize::try_from(u64::decode(r)?).map_err(|_| DecodeError::Invalid)
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+}
+
+impl Encode for f64 {
+    /// Bit-exact: `to_bits`, not any decimal representation.
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = usize::decode(r)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Invalid)
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = usize::decode(r)?;
+        // A length can claim more elements than bytes remain; cap the
+        // pre-allocation so a corrupt prefix cannot balloon memory.
+        let mut items = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Encode> Encode for VecDeque<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for VecDeque<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Vec::<T>::decode(r)?.into())
+    }
+}
+
+impl<K: Encode, V: Encode> Encode for BTreeMap<K, V> {
+    /// Entries travel in the map's own (sorted) iteration order, so the
+    /// encoding of a map is canonical.
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+}
+
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = usize::decode(r)?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+}
+
+impl<T: Encode, const N: usize> Encode for [T; N] {
+    /// Fixed-size: no length prefix, the type carries it.
+    fn encode(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode, const N: usize> Decode for [T; N] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::decode(r)?);
+        }
+        items.try_into().map_err(|_| DecodeError::Invalid)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        assert_eq!(T::from_bytes(&value.to_bytes()).unwrap(), value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0xdead_beefu32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::from("snapshot"));
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for value in [
+            0.0f64,
+            -0.0,
+            1.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.0 / 3.0,
+        ] {
+            let back = f64::from_bytes(&value.to_bytes()).unwrap();
+            assert_eq!(back.to_bits(), value.to_bits());
+        }
+        let nan = f64::from_bytes(&f64::NAN.to_bytes()).unwrap();
+        assert_eq!(nan.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(VecDeque::from([7usize, 8, 9]));
+        round_trip(BTreeMap::from([(1u64, 2.5f64), (3, 4.5)]));
+        round_trip(Option::<u32>::None);
+        round_trip(Some(9u32));
+        round_trip([1.5f64, 2.5, 3.5]);
+        round_trip((42u64, String::from("pair")));
+        round_trip(vec![(0usize, true), (1, false)]);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let bytes = 0xabcdu64.to_bytes();
+        assert_eq!(u64::from_bytes(&bytes[..7]), Err(DecodeError::Truncated));
+        let list = vec![1u64, 2, 3].to_bytes();
+        assert_eq!(
+            Vec::<u64>::from_bytes(&list[..list.len() - 1]),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        assert_eq!(bool::from_bytes(&[2]), Err(DecodeError::Invalid));
+        assert_eq!(Option::<u8>::from_bytes(&[9, 0]), Err(DecodeError::Invalid));
+        assert_eq!(
+            String::from_bytes(&[1, 0, 0, 0, 0, 0, 0, 0, 0xff]),
+            Err(DecodeError::Invalid)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected_by_from_bytes() {
+        let mut bytes = 5u64.to_bytes();
+        bytes.push(0);
+        assert_eq!(u64::from_bytes(&bytes), Err(DecodeError::Invalid));
+    }
+
+    #[test]
+    fn oversized_length_prefix_does_not_overallocate() {
+        // Claims u64::MAX elements with 0 bytes of payload.
+        let bytes = u64::MAX.to_bytes();
+        assert_eq!(Vec::<u8>::from_bytes(&bytes), Err(DecodeError::Truncated));
+    }
+}

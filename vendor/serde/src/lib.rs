@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod binary;
+
 /// Marker for types that are serialization-ready.
 ///
 /// Upstream: `serde::Serialize`. The vendored facade carries no methods —
