@@ -24,4 +24,10 @@ cargo test -q --offline
 echo "==> checkpoint/resume roundtrip smoke"
 cargo run -q --release --offline --example checkpoint_resume
 
+echo "==> streaming metrics tap smoke"
+cargo run -q --release --offline --example metrics_tap
+
+echo "==> runtime makespan bench (emits BENCH_runtime.json)"
+cargo run -q --release --offline -p crowdlearn-bench --bin makespan
+
 echo "CI green."

@@ -43,6 +43,7 @@ pub fn run_ai_only(
             images: outcomes,
             algorithm_delay_secs: classifier.execution_delay_secs(images.len(), cycle.index as u64),
             crowd_delay_secs: None,
+            query_delay_secs: Vec::new(),
             spent_cents: 0,
         };
         report.record_cycle(&outcome);
@@ -235,6 +236,7 @@ impl HybridAl {
                 } else {
                     Some(delays.iter().sum::<f64>() / delays.len() as f64)
                 },
+                query_delay_secs: delays,
                 spent_cents: self.platform.spent_cents() - spent_before,
             });
         }
@@ -346,6 +348,7 @@ impl HybridPara {
                 } else {
                     Some(delays.iter().sum::<f64>() / delays.len() as f64)
                 },
+                query_delay_secs: delays,
                 spent_cents: self.platform.spent_cents() - spent_before,
             });
         }

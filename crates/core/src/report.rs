@@ -35,6 +35,12 @@ pub struct CycleOutcome {
     /// Mean query-completion delay this cycle (`None` for AI-only schemes or
     /// cycles without queries).
     pub crowd_delay_secs: Option<f64>,
+    /// Exact completion delay of every absorbed query, in absorb order —
+    /// the unrounded samples behind `crowd_delay_secs`. Kept so consumers
+    /// that need the cycle's *total* crowd wait (e.g. the blocking-makespan
+    /// reconstruction) can sum the real values instead of multiplying the
+    /// mean back out, which differs in the last float bits.
+    pub query_delay_secs: Vec<f64>,
     /// Cents spent on the crowd this cycle.
     pub spent_cents: u64,
 }
@@ -70,6 +76,7 @@ impl Encode for CycleOutcome {
         self.images.encode(out);
         self.algorithm_delay_secs.encode(out);
         self.crowd_delay_secs.encode(out);
+        self.query_delay_secs.encode(out);
         self.spent_cents.encode(out);
     }
 }
@@ -81,6 +88,7 @@ impl Decode for CycleOutcome {
         let images = Vec::<ImageOutcome>::decode(r)?;
         let algorithm_delay_secs = f64::decode(r)?;
         let crowd_delay_secs = Option::<f64>::decode(r)?;
+        let query_delay_secs = Vec::<f64>::decode(r)?;
         let spent_cents = u64::decode(r)?;
         if !algorithm_delay_secs.is_finite() || algorithm_delay_secs < 0.0 {
             return Err(DecodeError::Invalid);
@@ -90,12 +98,19 @@ impl Decode for CycleOutcome {
                 return Err(DecodeError::Invalid);
             }
         }
+        // The per-query samples back the mean: both present or both absent.
+        if crowd_delay_secs.is_some() == query_delay_secs.is_empty()
+            || query_delay_secs.iter().any(|d| !d.is_finite() || *d < 0.0)
+        {
+            return Err(DecodeError::Invalid);
+        }
         Ok(Self {
             cycle,
             context,
             images,
             algorithm_delay_secs,
             crowd_delay_secs,
+            query_delay_secs,
             spent_cents,
         })
     }
@@ -117,6 +132,10 @@ pub struct SchemeReport {
     pub algorithm_delay: SummaryStats,
     /// Per-cycle crowd delay samples (cycles with queries only).
     pub crowd_delay: SummaryStats,
+    /// Per-*query* completion-delay samples across all cycles — the
+    /// unaggregated distribution behind `crowd_delay`'s per-cycle means
+    /// (what a live metrics tap observes query by query).
+    pub query_delay: SummaryStats,
     /// Crowd delay split by temporal context (Figure 8 series).
     pub crowd_delay_by_context: Vec<SummaryStats>,
     /// Total cents spent on the crowd.
@@ -137,6 +156,7 @@ impl SchemeReport {
             truths: Vec::new(),
             algorithm_delay: SummaryStats::new(),
             crowd_delay: SummaryStats::new(),
+            query_delay: SummaryStats::new(),
             crowd_delay_by_context: (0..TemporalContext::COUNT)
                 .map(|_| SummaryStats::new())
                 .collect(),
@@ -160,6 +180,8 @@ impl SchemeReport {
             self.crowd_delay.push(d);
             self.crowd_delay_by_context[outcome.context.index()].push(d);
         }
+        self.query_delay
+            .extend(outcome.query_delay_secs.iter().copied());
         self.spent_cents += outcome.spent_cents;
         self.cycles += 1;
     }
@@ -260,6 +282,7 @@ mod tests {
             }],
             algorithm_delay_secs: 50.0,
             crowd_delay_secs: Some(300.0),
+            query_delay_secs: vec![290.0, 310.0],
             spent_cents: 10,
         }
     }
@@ -284,9 +307,11 @@ mod tests {
         let mut r = SchemeReport::new("VGG16");
         let mut o = outcome(0, TemporalContext::Morning, true);
         o.crowd_delay_secs = None;
+        o.query_delay_secs.clear();
         o.spent_cents = 0;
         r.record_cycle(&o);
         assert_eq!(r.mean_crowd_delay_secs(), None);
+        assert!(r.query_delay.is_empty());
         assert_eq!(r.spent_usd(), 0.0);
     }
 
@@ -308,14 +333,35 @@ mod tests {
 
         let mut late = o.clone();
         late.crowd_delay_secs = None;
+        late.query_delay_secs.clear();
         assert_eq!(CycleOutcome::from_bytes(&late.to_bytes()), Ok(late));
 
-        let mut bad = o;
+        let mut bad = o.clone();
         bad.algorithm_delay_secs = f64::NAN;
         assert_eq!(
             CycleOutcome::from_bytes(&bad.to_bytes()),
             Err(DecodeError::Invalid)
         );
+
+        // A mean without its backing samples (or vice versa) is rejected.
+        let mut inconsistent = o;
+        inconsistent.query_delay_secs.clear();
+        assert_eq!(
+            CycleOutcome::from_bytes(&inconsistent.to_bytes()),
+            Err(DecodeError::Invalid)
+        );
+    }
+
+    #[test]
+    fn query_delays_accumulate_per_sample() {
+        let mut r = SchemeReport::new("test");
+        r.record_cycle(&outcome(0, TemporalContext::Morning, true));
+        r.record_cycle(&outcome(1, TemporalContext::Evening, false));
+        // Two cycles × two queries: the per-query summary sees all four
+        // samples while the per-cycle summary sees the two means.
+        assert_eq!(r.query_delay.len(), 4);
+        assert_eq!(r.crowd_delay.len(), 2);
+        assert!((r.query_delay.sum() - 1200.0).abs() < 1e-9);
     }
 
     #[test]

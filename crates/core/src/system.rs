@@ -882,6 +882,7 @@ impl CrowdLearnSystem {
             images: outcomes,
             algorithm_delay_secs,
             crowd_delay_secs,
+            query_delay_secs: query_delays,
             spent_cents,
         }
     }

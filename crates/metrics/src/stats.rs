@@ -10,6 +10,24 @@ use std::fmt;
 /// samples (delay traces in this reproduction are small, at most tens of
 /// thousands of points).
 ///
+/// # Empty and single-sample contract
+///
+/// Queries on degenerate summaries never panic, and return one of two
+/// documented shapes:
+///
+/// * Order statistics — [`min`](Self::min), [`max`](Self::max),
+///   [`quantile`](Self::quantile), [`median`](Self::median) — return
+///   `None` when empty (there is no sample to report).
+/// * [`mean`](Self::mean) and [`std_dev`](Self::std_dev) return the `0.0`
+///   sentinel when undefined (empty, or fewer than two samples for the
+///   standard deviation), because delay aggregations routinely sum and
+///   tabulate them. Use [`try_mean`](Self::try_mean) /
+///   [`try_std_dev`](Self::try_std_dev) where "no data" must stay
+///   distinguishable from "measured zero".
+///
+/// [`QuantileSketch`](crate::QuantileSketch), the streaming counterpart,
+/// follows the same contract.
+///
 /// # Example
 ///
 /// ```
@@ -56,7 +74,8 @@ impl SummaryStats {
         self.samples.is_empty()
     }
 
-    /// Arithmetic mean; `0.0` when empty.
+    /// Arithmetic mean; `0.0` when empty (see the type docs for the
+    /// sentinel contract — [`SummaryStats::try_mean`] is the `Option` form).
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
             0.0
@@ -65,14 +84,22 @@ impl SummaryStats {
         }
     }
 
+    /// Arithmetic mean, or `None` when empty.
+    pub fn try_mean(&self) -> Option<f64> {
+        (!self.samples.is_empty()).then_some(self.mean)
+    }
+
     /// Sample standard deviation (n-1 denominator); `0.0` with fewer than two
-    /// samples.
+    /// samples (see the type docs — [`SummaryStats::try_std_dev`] is the
+    /// `Option` form).
     pub fn std_dev(&self) -> f64 {
-        if self.samples.len() < 2 {
-            0.0
-        } else {
-            (self.m2 / (self.samples.len() as f64 - 1.0)).sqrt()
-        }
+        self.try_std_dev().unwrap_or(0.0)
+    }
+
+    /// Sample standard deviation, or `None` with fewer than two samples
+    /// (a single sample has no dispersion to estimate).
+    pub fn try_std_dev(&self) -> Option<f64> {
+        (self.samples.len() >= 2).then(|| (self.m2 / (self.samples.len() as f64 - 1.0)).sqrt())
     }
 
     /// Smallest sample; `None` when empty.
@@ -155,6 +182,9 @@ impl Extend<f64> for SummaryStats {
 
 impl fmt::Display for SummaryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "n=0 (no samples)");
+        }
         write!(
             f,
             "n={} mean={:.3} std={:.3} min={:.3} p50={:.3} max={:.3}",
@@ -178,8 +208,33 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.try_mean(), None);
+        assert_eq!(s.try_std_dev(), None);
         assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
         assert_eq!(s.median(), None);
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(1.0), None);
+        assert_eq!(s.sum(), 0.0);
+        assert_eq!(format!("{s}"), "n=0 (no samples)");
+    }
+
+    #[test]
+    fn single_sample_queries_are_exact_and_total() {
+        let s: SummaryStats = [3.5].into_iter().collect();
+        assert_eq!(s.try_mean(), Some(3.5));
+        // One sample has no dispersion estimate: Option form says so, the
+        // sentinel form keeps the documented 0.0.
+        assert_eq!(s.try_std_dev(), None);
+        assert_eq!(s.std_dev(), 0.0);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), Some(3.5));
+        }
+        // A measured zero stays distinguishable from "no samples".
+        let zero: SummaryStats = [0.0].into_iter().collect();
+        assert_eq!(zero.try_mean(), Some(0.0));
+        assert_eq!(zero.mean(), SummaryStats::new().mean());
+        assert_ne!(zero.try_mean(), SummaryStats::new().try_mean());
     }
 
     #[test]

@@ -27,7 +27,15 @@
 //!   boundary into a versioned, checksummed [`RuntimeSnapshot`] that
 //!   [`PipelinedSystem::resume`] restores to a byte-identical continuation.
 //! - [`ParallelSweep`] — scoped-thread executor running one independently
-//!   seeded experiment per sweep point, returning results in input order.
+//!   seeded experiment per sweep point, returning results in input order,
+//!   with [`SweepCheckpoints`] for periodic per-point snapshots.
+//! - [`MetricsTap`] — a deterministic streaming-metrics sink fed by the
+//!   driver at every event boundary: rolling crowd-delay quantiles (overall
+//!   and per temporal context), spend pacing against the budget ledger,
+//!   window occupancy and queue depth with high-water marks. The tap rides
+//!   inside [`RuntimeSnapshot`], so a resumed run replays the identical
+//!   metric stream ([`MetricsSink`] is the extension point for custom
+//!   consumers).
 //!
 //! ## Equivalence to the blocking system
 //!
@@ -49,6 +57,7 @@ mod clock;
 mod config;
 mod event;
 mod hit;
+mod metrics;
 mod pipeline;
 mod queue;
 mod snapshot;
@@ -58,7 +67,8 @@ pub use clock::VirtualClock;
 pub use config::RuntimeConfig;
 pub use event::{Event, EventKind};
 pub use hit::{HitBoard, HitId, InFlightHit};
+pub use metrics::{MetricKind, MetricRecord, MetricsSink, MetricsTap, MetricsTapConfig};
 pub use pipeline::{blocking_makespan_secs, PipelinedSystem, RunBound, RuntimeReport};
 pub use queue::EventQueue;
 pub use snapshot::{RuntimeSnapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
-pub use sweep::ParallelSweep;
+pub use sweep::{ParallelSweep, SweepCheckpoints};

@@ -2,8 +2,8 @@
 //! discrete-event simulation so crowd waits overlap computation.
 
 use crate::{
-    EventKind, EventQueue, HitBoard, HitId, RuntimeConfig, RuntimeSnapshot, SnapshotError,
-    VirtualClock,
+    EventKind, EventQueue, HitBoard, HitId, MetricKind, MetricRecord, MetricsSink, MetricsTap,
+    RuntimeConfig, RuntimeSnapshot, SnapshotError, VirtualClock,
 };
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem, CycleOutcome, CycleWork, SchemeReport};
 use crowdlearn_crowd::IncentiveLevel;
@@ -35,18 +35,25 @@ pub struct RuntimeReport {
     pub timeouts: u64,
     /// Timed-out HITs that were reposted.
     pub reposts: u64,
+    /// The run's streaming metrics, when a [`MetricsTap`] was attached
+    /// (via [`PipelinedSystem::attach_metrics_tap`]) for the whole run.
+    pub metrics: Option<MetricsTap>,
 }
 
 /// The virtual-time makespan of the *blocking* system on the same
 /// outcomes: each cycle starts at the later of its arrival and the previous
 /// cycle's completion, then serially waits out inference plus every crowd
 /// answer (the `run_cycle` loop's behaviour, timed).
+///
+/// The serial crowd wait is the *exact* sum of the cycle's per-query
+/// delays ([`CycleOutcome::query_delay_secs`]), not the mean-times-count
+/// reconstruction — `(Σdᵢ/n)·n` differs from `Σdᵢ` in the last float bits,
+/// which is enough to spoil byte-exact speedup comparisons.
 pub fn blocking_makespan_secs(outcomes: &[CycleOutcome], cycle_period_secs: f64) -> f64 {
     let mut t = 0.0f64;
     for (k, outcome) in outcomes.iter().enumerate() {
         let arrival = k as f64 * cycle_period_secs;
-        let queries = outcome.images.iter().filter(|i| i.queried).count() as f64;
-        let crowd_sum = outcome.crowd_delay_secs.unwrap_or(0.0) * queries;
+        let crowd_sum: f64 = outcome.query_delay_secs.iter().sum();
         t = arrival.max(t) + outcome.algorithm_delay_secs + crowd_sum;
     }
     t
@@ -84,6 +91,7 @@ pub struct PipelinedSystem {
     system: CrowdLearnSystem,
     config: RuntimeConfig,
     exec: Option<ExecState>,
+    tap: Option<MetricsTap>,
 }
 
 impl PipelinedSystem {
@@ -96,6 +104,7 @@ impl PipelinedSystem {
             system: CrowdLearnSystem::new(dataset, config),
             config: runtime,
             exec: None,
+            tap: None,
         }
     }
 
@@ -106,7 +115,29 @@ impl PipelinedSystem {
             system,
             config: runtime,
             exec: None,
+            tap: None,
         }
+    }
+
+    /// Attaches a streaming [`MetricsTap`]: from here on the driver feeds
+    /// it one [`MetricRecord`] per event-boundary transition. Attach
+    /// *before* the first [`PipelinedSystem::step`] to observe the whole
+    /// run. The tap is part of the runtime state — it rides inside
+    /// [`PipelinedSystem::snapshot`], and [`PipelinedSystem::run`] hands it
+    /// back on [`RuntimeReport::metrics`]. Replaces any previous tap.
+    pub fn attach_metrics_tap(&mut self, tap: MetricsTap) {
+        self.tap = Some(tap);
+    }
+
+    /// The attached metrics tap, for polling between
+    /// [`PipelinedSystem::run_until`] slices.
+    pub fn metrics_tap(&self) -> Option<&MetricsTap> {
+        self.tap.as_ref()
+    }
+
+    /// Detaches and returns the metrics tap, stopping the stream.
+    pub fn take_metrics_tap(&mut self) -> Option<MetricsTap> {
+        self.tap.take()
     }
 
     /// The runtime configuration.
@@ -177,6 +208,7 @@ impl PipelinedSystem {
             dataset,
             cycles: stream.cycles(),
             exec,
+            tap: self.tap.as_mut(),
         }
         .handle(event.kind);
         true
@@ -229,6 +261,36 @@ impl PipelinedSystem {
             .expect("invariant: an unbounded run drains the event queue")
     }
 
+    /// Runs the whole stream like [`PipelinedSystem::run`], but hands a
+    /// fresh [`RuntimeSnapshot`] to `store` every `interval_events` events —
+    /// cheap insurance for long runs (and long [`crate::ParallelSweep`]
+    /// points, via [`crate::SweepCheckpoints`]): if the process dies, the
+    /// run resumes from the latest stored checkpoint and, snapshots being
+    /// byte-identical continuations, finishes with exactly the report the
+    /// uninterrupted run would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_events` is zero.
+    pub fn run_auto_snapshotted<F>(
+        &mut self,
+        dataset: &Dataset,
+        stream: &SensingCycleStream,
+        interval_events: u64,
+        mut store: F,
+    ) -> Result<RuntimeReport, SnapshotError>
+    where
+        F: FnMut(RuntimeSnapshot),
+    {
+        assert!(interval_events > 0, "snapshot interval must be positive");
+        loop {
+            match self.run_until(dataset, stream, RunBound::Events(interval_events)) {
+                Some(report) => return Ok(report),
+                None => store(self.snapshot()?),
+            }
+        }
+    }
+
     /// Closes out a drained execution into its report.
     fn finish(&mut self) -> RuntimeReport {
         let exec = self
@@ -259,6 +321,7 @@ impl PipelinedSystem {
             peak_hits_in_flight: exec.board.peak_in_flight(),
             timeouts: exec.timeouts,
             reposts: exec.reposts,
+            metrics: self.tap.take(),
         }
     }
 
@@ -275,6 +338,7 @@ impl PipelinedSystem {
             .encode_state(&mut payload)
             .map_err(SnapshotError::UnsupportedSystem)?;
         self.exec.encode(&mut payload);
+        self.tap.encode(&mut payload);
         Ok(RuntimeSnapshot::seal(payload))
     }
 
@@ -290,6 +354,7 @@ impl PipelinedSystem {
         let config = RuntimeConfig::decode(&mut r).map_err(SnapshotError::Corrupt)?;
         let system = CrowdLearnSystem::decode_state(&mut r).map_err(SnapshotError::Corrupt)?;
         let exec = Option::<ExecState>::decode(&mut r).map_err(SnapshotError::Corrupt)?;
+        let tap = Option::<MetricsTap>::decode(&mut r).map_err(SnapshotError::Corrupt)?;
         if !r.is_empty() {
             return Err(SnapshotError::Corrupt(DecodeError::Invalid));
         }
@@ -305,6 +370,7 @@ impl PipelinedSystem {
             system,
             config,
             exec,
+            tap,
         })
     }
 }
@@ -415,9 +481,40 @@ struct Driver<'a> {
     dataset: &'a Dataset,
     cycles: &'a [SensingCycle],
     exec: &'a mut ExecState,
+    tap: Option<&'a mut MetricsTap>,
 }
 
 impl Driver<'_> {
+    /// Feeds the attached tap one record: the transition plus the
+    /// instantaneous gauges sampled *after* it took effect. A single
+    /// branch-on-`None` when no tap is attached, so the untapped loop pays
+    /// nothing measurable (the makespan bench pins this).
+    fn emit(&mut self, kind: MetricKind) {
+        let Some(tap) = self.tap.as_deref_mut() else {
+            return;
+        };
+        tap.record(&MetricRecord {
+            at_secs: self.exec.clock.now_secs(),
+            queue_depth: self.exec.queue.len(),
+            window_occupancy: self.exec.slots_used,
+            hits_in_flight: self.exec.board.in_flight(),
+            kind,
+        });
+    }
+
+    /// Emits the `SpendCharged` record for a just-posted HIT. The ledger
+    /// lookup only happens when a tap is listening.
+    fn emit_spend(&mut self, k: usize, incentive: IncentiveLevel) {
+        if self.tap.is_some() {
+            let remaining = self.system.remaining_budget_cents();
+            self.emit(MetricKind::SpendCharged {
+                cycle: k,
+                cents: incentive.cents(),
+                remaining_budget_cents: remaining,
+            });
+        }
+    }
+
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::CycleArrival { cycle } => {
@@ -447,8 +544,15 @@ impl Driver<'_> {
                     .system
                     .finalize_cycle(work, &self.cycles[cycle], self.dataset);
                 self.exec.completed_at_secs[cycle] = self.exec.clock.now_secs();
+                let spent_cents = outcome.spent_cents;
+                let queries = outcome.images.iter().filter(|i| i.queried).count();
                 self.exec.outcomes[cycle] = Some(outcome);
                 self.exec.slots_used -= 1;
+                self.emit(MetricKind::CycleClosed {
+                    cycle,
+                    spent_cents,
+                    queries,
+                });
                 self.try_admit();
             }
         }
@@ -468,6 +572,7 @@ impl Driver<'_> {
                 self.exec.clock.now_secs() + delay,
                 EventKind::InferenceDone { cycle: k },
             );
+            self.emit(MetricKind::CycleAdmitted { cycle: k });
         }
     }
 
@@ -486,15 +591,19 @@ impl Driver<'_> {
         {
             Some(posted) => {
                 let delay = posted.pending.completion_delay_secs();
-                let hit = self.exec.board.post(
-                    k,
-                    posted.image_index,
-                    posted.incentive,
-                    now,
-                    1,
-                    posted.pending,
-                );
+                let incentive = posted.incentive;
+                let hit =
+                    self.exec
+                        .board
+                        .post(k, posted.image_index, incentive, now, 1, posted.pending);
                 self.schedule_hit_events(k, hit, now, delay);
+                self.emit(MetricKind::HitPosted {
+                    cycle: k,
+                    hit,
+                    incentive,
+                    attempt: 1,
+                });
+                self.emit_spend(k, incentive);
             }
             None => {
                 if work.outstanding() == 0 {
@@ -528,8 +637,10 @@ impl Driver<'_> {
     fn on_answered(&mut self, k: usize, hit: HitId) {
         let inflight = self.exec.board.take(hit);
         debug_assert_eq!(inflight.cycle, k);
+        let context = inflight.pending.context();
         let response = inflight.pending.into_response();
         let timely = self.system.answer_is_timely(&response);
+        let delay_secs = response.completion_delay_secs;
         let work = self
             .exec
             .active
@@ -537,6 +648,13 @@ impl Driver<'_> {
             .expect("invariant: HIT events only target active cycles");
         self.system
             .absorb_answer(work, inflight.image_index, &response, timely);
+        self.emit(MetricKind::HitAnswered {
+            cycle: k,
+            hit,
+            context,
+            delay_secs,
+            timely,
+        });
         self.post_or_finalize(k);
     }
 
@@ -559,6 +677,12 @@ impl Driver<'_> {
         let now = self.exec.clock.now_secs();
         self.system
             .observe_crowd_delay(inflight.pending.context(), inflight.incentive, timeout);
+        self.emit(MetricKind::HitTimedOut {
+            cycle: k,
+            hit,
+            incentive: inflight.incentive,
+            censored_delay_secs: timeout,
+        });
 
         if inflight.attempt < self.config.max_post_attempts {
             let level = if self.config.escalate_on_repost {
@@ -580,15 +704,23 @@ impl Driver<'_> {
             ) {
                 self.exec.reposts += 1;
                 let delay = posted.pending.completion_delay_secs();
+                let incentive = posted.incentive;
                 let new_hit = self.exec.board.post(
                     k,
                     posted.image_index,
-                    posted.incentive,
+                    incentive,
                     now,
                     inflight.attempt + 1,
                     posted.pending,
                 );
                 self.schedule_hit_events(k, new_hit, now, delay);
+                self.emit(MetricKind::HitReposted {
+                    cycle: k,
+                    hit: new_hit,
+                    incentive,
+                    attempt: inflight.attempt + 1,
+                });
+                self.emit_spend(k, incentive);
                 return;
             }
         }
@@ -612,7 +744,9 @@ impl Driver<'_> {
     fn on_late_answer(&mut self, k: usize, hit: HitId) {
         let inflight = self.exec.board.take(hit);
         debug_assert_eq!(inflight.cycle, k);
+        let context = inflight.pending.context();
         let response = inflight.pending.into_response();
+        let delay_secs = response.completion_delay_secs;
         let work = self
             .exec
             .active
@@ -620,6 +754,12 @@ impl Driver<'_> {
             .expect("invariant: HIT events only target active cycles");
         self.system
             .absorb_late_answer(work, inflight.image_index, &response);
+        self.emit(MetricKind::LateAnswerAbsorbed {
+            cycle: k,
+            hit,
+            context,
+            delay_secs,
+        });
         self.post_or_finalize(k);
     }
 }

@@ -19,8 +19,10 @@
 //! The payload itself is the vendored binary codec's output:
 //! `RuntimeConfig`, then the core system state
 //! ([`crowdlearn::CrowdLearnSystem::encode_state`]), then the optional
-//! execution state. Floats travel as IEEE-754 bits, so round trips are
-//! bit-exact by construction.
+//! execution state, then the optional streaming metrics tap
+//! ([`crate::MetricsTap`] — version 2; it rides in the snapshot so a
+//! resumed run replays the identical metric stream). Floats travel as
+//! IEEE-754 bits, so round trips are bit-exact by construction.
 
 use crowdlearn::StateError;
 use serde::binary::DecodeError;
@@ -29,7 +31,10 @@ use serde::binary::DecodeError;
 const MAGIC: [u8; 8] = *b"CLSNAP\x00\x01";
 
 /// Current snapshot format version. Bump on any payload layout change.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial format; 2 — `CycleOutcome` gained exact
+/// per-query delays and the payload gained the optional metrics tap.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be produced or restored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

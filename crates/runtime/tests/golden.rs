@@ -74,6 +74,39 @@ fn pipelining_beats_the_blocking_makespan() {
 }
 
 #[test]
+fn blocking_makespan_sums_exact_per_query_delays() {
+    use crowdlearn::CycleOutcome;
+    use crowdlearn_dataset::TemporalContext;
+
+    // Delays chosen so the old mean-times-count reconstruction
+    // `(Σdᵢ/n)·n` does NOT round-trip to `Σdᵢ` in f64.
+    let delays = vec![1.0, 2.0, 0.3];
+    let exact_sum: f64 = delays.iter().sum();
+    let mean = exact_sum / delays.len() as f64;
+    assert_ne!(
+        mean * delays.len() as f64,
+        exact_sum,
+        "pick delays where the reconstruction actually differs"
+    );
+
+    let outcome = CycleOutcome {
+        cycle: 0,
+        context: TemporalContext::Morning,
+        images: Vec::new(),
+        algorithm_delay_secs: 5.0,
+        crowd_delay_secs: Some(mean),
+        query_delay_secs: delays,
+        spent_cents: 0,
+    };
+    // One cycle arriving at t=0: makespan is exactly inference + Σdᵢ.
+    assert_eq!(
+        blocking_makespan_secs(std::slice::from_ref(&outcome), 600.0),
+        5.0 + exact_sum,
+        "speedup baselines must be computed from exact per-query sums"
+    );
+}
+
+#[test]
 fn pipelined_runs_are_deterministic() {
     let dataset = Dataset::generate(&DatasetConfig::paper());
     let stream = SensingCycleStream::paper(&dataset);

@@ -36,13 +36,12 @@ fn waited_out_hits_complete_at_their_true_answer_time() {
 
     // Sequential window: each cycle's queries chain serially, each absorbed
     // at its true completion. So a cycle's completion time is at least its
-    // arrival plus inference plus the *sum of full query delays* — which the
-    // outcome's mean crowd delay recovers. Absorbing at the timeout instant
+    // arrival plus inference plus the *sum of full query delays* — the
+    // outcome's exact per-query record. Absorbing at the timeout instant
     // (the old bug) caps each timed-out query's contribution at the timeout
     // and breaks this inequality.
     for (k, outcome) in run.outcomes.iter().enumerate() {
-        let queried = outcome.images.iter().filter(|i| i.queried).count() as f64;
-        let crowd_sum = outcome.crowd_delay_secs.unwrap_or(0.0) * queried;
+        let crowd_sum: f64 = outcome.query_delay_secs.iter().sum();
         let arrival = k as f64 * 600.0;
         assert!(
             run.completed_at_secs[k] >= arrival + outcome.algorithm_delay_secs + crowd_sum - 1e-6,

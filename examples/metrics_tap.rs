@@ -1,0 +1,94 @@
+//! Streaming metrics tap: watch the pipelined runtime live, between
+//! `run_until` slices, and render a text dashboard from the tap's rolling
+//! state.
+//!
+//! ```text
+//! cargo run --release --example metrics_tap
+//! ```
+//!
+//! The end-of-run `RuntimeReport` shows delay and spend only after the
+//! fact. The tap streams the same quantities *during* the run: the driver
+//! feeds it one record per event-boundary transition, and the tap folds
+//! them into rolling crowd-delay quantiles (overall and per temporal
+//! context), spend pacing against the budget ledger, and occupancy gauges
+//! — all deterministic, all O(1) memory, and all carried inside runtime
+//! snapshots.
+
+use crowdlearn::CrowdLearnConfig;
+use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream, TemporalContext};
+use crowdlearn_runtime::{MetricsTap, PipelinedSystem, RunBound, RuntimeConfig};
+
+fn main() {
+    let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(7));
+    let stream = SensingCycleStream::new(&dataset, 10, 5);
+    let runtime = RuntimeConfig::paper()
+        .with_inflight_window(3)
+        .with_hit_timeout(Some(150.0), 2);
+
+    let mut system = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), runtime);
+    system.attach_metrics_tap(MetricsTap::new());
+
+    // Drive the run in slices, polling the tap between them — exactly what
+    // a live dashboard (or an adaptive-window controller) would do.
+    println!("    events |  virtual s | win | in-flight | p50 delay | p90 delay |  spent");
+    println!("   --------+------------+-----+-----------+-----------+-----------+-------");
+    let mut report = None;
+    while report.is_none() {
+        report = system.run_until(&dataset, &stream, RunBound::Events(40));
+        let tap = system
+            .metrics_tap()
+            .or_else(|| report.as_ref().and_then(|r| r.metrics.as_ref()))
+            .expect("tap attached for the whole run");
+        let fmt_q = |q: f64| match tap.crowd_delay().quantile(q) {
+            Some(v) => format!("{v:7.0} s"),
+            None => "      — ".to_string(),
+        };
+        println!(
+            "   {:7} | {:8.0} s | {:3} | {:9} | {} | {} | {:4} ¢",
+            tap.records(),
+            tap.last_at_secs(),
+            tap.window_occupancy(),
+            tap.hits_in_flight(),
+            fmt_q(0.5),
+            fmt_q(0.9),
+            tap.spent_cents(),
+        );
+    }
+    let report = report.expect("loop exits with the report");
+    let tap = report.metrics.as_ref().expect("tap rides the report");
+
+    // End-of-run dashboard: the streamed state, per temporal context.
+    println!("\ncrowd delay by temporal context (streamed quantiles):");
+    for context in TemporalContext::ALL {
+        let sketch = tap.crowd_delay_in(context);
+        match (sketch.quantile(0.5), sketch.quantile(0.9)) {
+            (Some(p50), Some(p90)) => println!(
+                "   {context:?}: n={}, p50 {p50:.0} s, p90 {p90:.0} s",
+                sketch.len()
+            ),
+            _ => println!("   {context:?}: no queries"),
+        }
+    }
+    println!(
+        "\nspend: {} ¢ over {:.0} virtual s ({:.1} ¢/h), budget left {:.0} ¢",
+        tap.spent_cents(),
+        tap.last_at_secs(),
+        tap.spend_rate_cents_per_hour().unwrap_or(0.0),
+        tap.remaining_budget_cents().unwrap_or(f64::NAN),
+    );
+    println!(
+        "peaks: window {} cycles, {} HITs in flight, queue depth {}",
+        tap.peak_window_occupancy(),
+        tap.peak_hits_in_flight(),
+        tap.peak_queue_depth(),
+    );
+
+    // The streamed view and the end-of-run report agree exactly.
+    assert_eq!(tap.spent_cents(), report.report.spent_cents);
+    assert_eq!(tap.hits_timed_out(), report.timeouts);
+    assert_eq!(
+        tap.crowd_delay().len(),
+        report.report.query_delay.len() as u64
+    );
+    println!("\nstreamed totals match the end-of-run report ✓");
+}

@@ -8,7 +8,8 @@
 use crowdlearn::CrowdLearnConfig;
 use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
 use crowdlearn_runtime::{
-    PipelinedSystem, RunBound, RuntimeConfig, RuntimeReport, RuntimeSnapshot, SnapshotError,
+    MetricsTap, ParallelSweep, PipelinedSystem, RunBound, RuntimeConfig, RuntimeReport,
+    RuntimeSnapshot, SnapshotError, SweepCheckpoints,
 };
 
 fn dataset(seed: u64) -> Dataset {
@@ -128,6 +129,93 @@ fn checkpoint_resume_at_a_virtual_time_boundary() {
     let mut resumed = PipelinedSystem::resume(&snapshot, &stream).expect("valid");
     let report = resumed.run(&dataset, &stream);
     assert_eq!(format!("{report:?}"), format!("{baseline:?}"));
+}
+
+#[test]
+fn metrics_tap_replays_byte_identically_across_checkpoint_resume() {
+    let dataset = dataset(7);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+
+    // Uninterrupted tapped run: the report hands the tap back.
+    let mut system = fresh_system(&dataset);
+    system.attach_metrics_tap(MetricsTap::new());
+    let baseline = system.run(&dataset, &stream);
+    let baseline_tap = baseline.metrics.as_ref().expect("tap rides the report");
+    assert!(
+        baseline_tap.records() > 0 && !baseline_tap.crowd_delay().is_empty(),
+        "fixture must actually stream metrics"
+    );
+    // Attaching a tap must observe the run, not perturb it.
+    let untapped = short_run(7);
+    assert_eq!(baseline.outcomes, untapped.outcomes);
+    assert_eq!(baseline.events_processed, untapped.events_processed);
+
+    // Cut the tapped run at event boundaries across the whole run. The tap
+    // rides inside the snapshot, so the resumed run continues the metric
+    // stream — final tap state and report must be byte-identical.
+    let total = baseline.events_processed;
+    for cut in [1, total / 3, (2 * total) / 3, total - 1] {
+        let mut system = fresh_system(&dataset);
+        system.attach_metrics_tap(MetricsTap::new());
+        assert!(system
+            .run_until(&dataset, &stream, RunBound::Events(cut))
+            .is_none());
+        let mid_records = system.metrics_tap().expect("tap attached").records();
+        let bytes = system.snapshot().expect("checkpointable").to_bytes();
+        let snapshot = RuntimeSnapshot::from_bytes(&bytes).expect("frame validates");
+        let mut resumed = PipelinedSystem::resume(&snapshot, &stream).expect("payload validates");
+        assert_eq!(
+            resumed.metrics_tap().expect("tap restored").records(),
+            mid_records,
+            "resume must restore the tap mid-stream, not restart it"
+        );
+        let report = resumed.run(&dataset, &stream);
+        assert_eq!(
+            report.metrics.as_ref().expect("tap rides the report"),
+            baseline_tap,
+            "tap state diverged after resume from event boundary {cut}/{total}"
+        );
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{baseline:?}"),
+            "tapped resume from event boundary {cut}/{total} diverged"
+        );
+    }
+}
+
+#[test]
+fn sweep_point_resumed_from_auto_snapshot_matches_uninterrupted() {
+    // Each sweep point periodically parks a checkpoint in the shared store
+    // while running to completion. Resuming a point from its latest stored
+    // checkpoint — as a relaunched sweep would after a crash — must finish
+    // with the byte-identical report, tap included.
+    let seeds: Vec<u64> = vec![7, 8];
+    let checkpoints = SweepCheckpoints::new(seeds.len());
+    let uninterrupted = ParallelSweep::new(2).run(&seeds, |i, &seed| {
+        let dataset = dataset(seed);
+        let stream = SensingCycleStream::new(&dataset, 8, 5);
+        let mut system = fresh_system(&dataset);
+        system.attach_metrics_tap(MetricsTap::new());
+        let report = system
+            .run_auto_snapshotted(&dataset, &stream, 64, |snap| checkpoints.store(i, snap))
+            .expect("paper system is checkpointable");
+        (seed, report)
+    });
+
+    for (i, (seed, baseline)) in uninterrupted.iter().enumerate() {
+        let snapshot = checkpoints
+            .latest(i)
+            .expect("a multi-hundred-event run stores at least one 64-event checkpoint");
+        let dataset = dataset(*seed);
+        let stream = SensingCycleStream::new(&dataset, 8, 5);
+        let mut resumed = PipelinedSystem::resume(&snapshot, &stream).expect("payload validates");
+        let report = resumed.run(&dataset, &stream);
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{baseline:?}"),
+            "sweep point {i} (seed {seed}) diverged when resumed from its auto-snapshot"
+        );
+    }
 }
 
 #[test]

@@ -1,11 +1,13 @@
 //! Cross-crate property-based tests (proptest) over the public APIs.
 
+use crowdlearn::CrowdLearnConfig;
 use crowdlearn_bandit::{
     BanditConfig, CostedBandit, EpsilonGreedy, FixedPolicy, RandomPolicy, UcbAlp,
 };
 use crowdlearn_classifiers::ClassDistribution;
-use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig};
+use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig, SensingCycleStream};
 use crowdlearn_metrics::{wilcoxon_signed_rank, ConfusionMatrix, RocCurve, SummaryStats};
+use crowdlearn_runtime::{MetricsTap, PipelinedSystem, RuntimeConfig};
 use crowdlearn_truth::{Aggregator, Annotation, DawidSkeneEm, MajorityVoting, WorkerId};
 use proptest::prelude::*;
 
@@ -161,5 +163,66 @@ proptest! {
         ids.sort_unstable();
         ids.dedup();
         prop_assert_eq!(ids.len(), ds.len());
+    }
+}
+
+// Full closed-loop runs are expensive (committee boot per case), so the
+// tap-convergence property uses its own small case budget and a reduced
+// bootstrap (fewer CQC training queries, lighter bandit warm-up).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn metrics_tap_agrees_with_the_end_of_run_report(
+        seed in 0u64..1000,
+        window in 1usize..5,
+        with_timeout in any::<bool>()
+    ) {
+        let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(seed));
+        let stream = SensingCycleStream::new(&dataset, 6, 4);
+        let mut config = CrowdLearnConfig::paper().with_seed(seed);
+        config.cqc_training_queries = 200;
+        config.warmup_per_cell = 2;
+        let mut runtime = RuntimeConfig::paper().with_inflight_window(window);
+        if with_timeout {
+            runtime = runtime.with_hit_timeout(Some(150.0), 2);
+        }
+        let mut system = PipelinedSystem::from_system(
+            crowdlearn::CrowdLearnSystem::new(&dataset, config),
+            runtime,
+        );
+        system.attach_metrics_tap(MetricsTap::new());
+        let run = system.run(&dataset, &stream);
+        let tap = run.metrics.as_ref().expect("tap rides the report");
+
+        // Counters: the streamed view and the end-of-run report must agree
+        // exactly — same spend, same timeout/repost telemetry, same number
+        // of absorbed answers (the report's per-query delay samples).
+        let report = &run.report;
+        prop_assert_eq!(tap.spent_cents(), report.spent_cents);
+        prop_assert_eq!(tap.hits_timed_out(), run.timeouts);
+        prop_assert_eq!(tap.hits_reposted(), run.reposts);
+        prop_assert_eq!(tap.cycles_closed(), run.outcomes.len() as u64);
+        prop_assert_eq!(tap.crowd_delay().len(), report.query_delay.len() as u64);
+        prop_assert_eq!(
+            tap.hits_answered() + tap.late_answers(),
+            report.query_delay.len() as u64
+        );
+
+        // Quantiles: the streaming sketch must converge on the exact
+        // order statistics within its grid resolution (no sample clamped,
+        // so every estimate is at most one bin width off).
+        if !report.query_delay.is_empty() {
+            prop_assert_eq!(tap.crowd_delay().clamped(), 0);
+            let tolerance = tap.crowd_delay().bin_width();
+            for q in [0.1, 0.5, 0.9] {
+                let streamed = tap.crowd_delay().quantile(q).expect("non-empty");
+                let exact = report.query_delay.quantile(q).expect("non-empty");
+                prop_assert!(
+                    (streamed - exact).abs() <= tolerance,
+                    "q{q}: streamed {streamed} vs exact {exact}, tolerance {tolerance}"
+                );
+            }
+        }
     }
 }
