@@ -27,7 +27,13 @@ cargo run -q --release --offline --example checkpoint_resume
 echo "==> streaming metrics tap smoke"
 cargo run -q --release --offline --example metrics_tap
 
+echo "==> multi-stream fleet smoke"
+cargo run -q --release --offline --example multi_stream
+
 echo "==> runtime makespan bench (emits BENCH_runtime.json)"
 cargo run -q --release --offline -p crowdlearn-bench --bin makespan
+
+echo "==> fleet contention bench (emits BENCH_fleet.json)"
+cargo run -q --release --offline -p crowdlearn-bench --bin fleet
 
 echo "CI green."

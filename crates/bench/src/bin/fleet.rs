@@ -1,0 +1,183 @@
+//! Fleet orchestrator bench: cross-stream contention versus shard count,
+//! and a window × budget-split sweep over a 3-disaster fleet.
+//!
+//! The contention claim this bench gates: with the pool capacity fixed,
+//! adding concurrent disaster streams must raise the queue wait every
+//! posted HIT suffers — monotonically in the shard count, and exactly zero
+//! for a lone shard. Every shard runs the *same* seed, so the base delay
+//! draws are symmetric across fleet sizes and the per-query crowd delay
+//! isolates the contention term. Results land in `BENCH_fleet.json` for CI
+//! trend tracking.
+
+#![forbid(unsafe_code)]
+
+use crowdlearn::CrowdLearnConfig;
+use crowdlearn_bench::banner;
+use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+use crowdlearn_runtime::{
+    ArbitrationPolicy, FleetConfig, FleetOrchestrator, FleetReport, ParallelSweep, RuntimeConfig,
+    ShardSpec,
+};
+use std::time::Instant;
+
+/// Cycles per shard stream — short enough that a 6-shard fleet boots and
+/// drains in seconds, long enough that every context recurs.
+const CYCLES: usize = 8;
+const IMAGES_PER_CYCLE: usize = 5;
+const SEED: u64 = 7;
+
+/// Builds and runs an `n`-shard fleet of identically seeded disasters. The
+/// fleet budget scales with `n` so every shard keeps the paper quota and
+/// budget exhaustion never masks the contention signal.
+// The bench crate is the detlint D2 exemption: timing harnesses read the
+// wall clock by design. clippy.toml mirrors D2 workspace-wide, so the
+// exemption is restated here.
+#[allow(clippy::disallowed_methods)]
+fn contended_run(n: usize, arbitration: ArbitrationPolicy, window: usize) -> (FleetReport, f64) {
+    let datasets: Vec<Dataset> = (0..n)
+        .map(|_| Dataset::generate(&DatasetConfig::paper().with_seed(SEED)))
+        .collect();
+    let streams: Vec<SensingCycleStream> = datasets
+        .iter()
+        .map(|d| SensingCycleStream::new(d, CYCLES, IMAGES_PER_CYCLE))
+        .collect();
+    let specs: Vec<ShardSpec> = (0..n)
+        .map(|_| {
+            ShardSpec::new(
+                CrowdLearnConfig::paper(),
+                RuntimeConfig::paper().with_inflight_window(window),
+            )
+        })
+        .collect();
+    let config = FleetConfig::new(CrowdLearnConfig::paper().budget_cents * n as f64)
+        .with_arbitration(arbitration);
+    let mut fleet = FleetOrchestrator::new(specs, config, &datasets);
+    fleet.attach_metrics_taps();
+    let started = Instant::now();
+    let report = fleet.run(&datasets, &streams);
+    (report, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    banner(
+        "Fleet orchestrator: contention vs shard count, window x budget-split sweep",
+        "identical seeds per shard; the pool capacity stays fixed while shards multiply",
+    );
+
+    // --- Section 1: shard-count scaling at a fixed pool ------------------
+    println!(
+        "{:<8} {:>10} {:>12} {:>14} {:>12} {:>10} {:>9}",
+        "shards", "posts", "mean wait(s)", "mean delay(s)", "makespan(s)", "peak busy", "wall(ms)"
+    );
+    let mut scaling = Vec::new();
+    for n in [1usize, 2, 4, 6] {
+        let (report, wall_secs) = contended_run(n, ArbitrationPolicy::FairShare, 4);
+        let mean_delay = report
+            .rollup_crowd_delay
+            .as_ref()
+            .expect("taps attached fleet-wide")
+            .mean();
+        println!(
+            "{:<8} {:>10} {:>12.1} {:>14.1} {:>12.0} {:>10} {:>9.1}",
+            n,
+            report.contention.posts,
+            report.contention.mean_wait_secs(),
+            mean_delay,
+            report.makespan_secs,
+            report.contention.peak_busy_workers,
+            wall_secs * 1e3
+        );
+        scaling.push((n, report, mean_delay, wall_secs));
+    }
+
+    // --- Section 2: window x budget-split sweep on a 3-shard fleet -------
+    let points: Vec<(usize, &str)> =
+        vec![(2, "fair"), (2, "priority"), (4, "fair"), (4, "priority")];
+    let sweep = ParallelSweep::new(2).run(&points, |_, &(window, split)| {
+        let arbitration = match split {
+            "fair" => ArbitrationPolicy::FairShare,
+            _ => ArbitrationPolicy::Priority(vec![3.0, 2.0, 1.0]),
+        };
+        let (report, wall_secs) = contended_run(3, arbitration, window);
+        (window, split, report, wall_secs)
+    });
+    println!("\n3-shard sweep: in-flight window x budget arbitration");
+    println!(
+        "{:<8} {:<9} {:>12} {:>14} {:>22}",
+        "window", "split", "makespan(s)", "mean wait(s)", "spend by shard (cents)"
+    );
+    for (window, split, report, _) in &sweep {
+        let spends: Vec<u64> = (0..report.ledger.shards())
+            .map(|i| report.ledger.spent_cents(i))
+            .collect();
+        println!(
+            "{:<8} {:<9} {:>12.0} {:>14.1} {:>22}",
+            window,
+            split,
+            report.makespan_secs,
+            report.contention.mean_wait_secs(),
+            format!("{spends:?}"),
+        );
+    }
+
+    // --- Machine-readable summary ----------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"fleet\",\n  \"scaling\": [\n");
+    for (i, (n, report, mean_delay, wall_secs)) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {n}, \"posts\": {}, \"mean_wait_secs\": {:.3}, \
+             \"mean_crowd_delay_secs\": {:.3}, \"makespan_secs\": {:.3}, \
+             \"peak_busy_workers\": {}, \"wall_ms\": {:.3}}}{}\n",
+            report.contention.posts,
+            report.contention.mean_wait_secs(),
+            mean_delay,
+            report.makespan_secs,
+            report.contention.peak_busy_workers,
+            wall_secs * 1e3,
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"sweep\": [\n");
+    for (i, (window, split, report, wall_secs)) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"window\": {window}, \"split\": \"{split}\", \"makespan_secs\": {:.3}, \
+             \"mean_wait_secs\": {:.3}, \"total_spent_cents\": {}, \"wall_ms\": {:.3}}}{}\n",
+            report.makespan_secs,
+            report.contention.mean_wait_secs(),
+            report.ledger.total_spent_cents(),
+            wall_secs * 1e3,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("\nwrote BENCH_fleet.json");
+
+    // --- Shape checks (the hard gates; wall clock is recorded, never
+    // asserted) -----------------------------------------------------------
+    let lone = &scaling[0];
+    assert_eq!(lone.0, 1);
+    assert_eq!(
+        lone.1.contention.mean_wait_secs(),
+        0.0,
+        "a lone shard must suffer zero cross-stream queue wait"
+    );
+    for pair in scaling.windows(2) {
+        let (n_lo, lo, delay_lo, _) = &pair[0];
+        let (n_hi, hi, delay_hi, _) = &pair[1];
+        assert!(
+            hi.contention.mean_wait_secs() > lo.contention.mean_wait_secs(),
+            "mean queue wait must grow with shard count: {n_lo} shards {:.1} s vs {n_hi} shards {:.1} s",
+            lo.contention.mean_wait_secs(),
+            hi.contention.mean_wait_secs()
+        );
+        assert!(
+            delay_hi > delay_lo,
+            "per-query crowd delay must grow with shard count: {n_lo} shards {delay_lo:.1} s \
+             vs {n_hi} shards {delay_hi:.1} s"
+        );
+    }
+    println!(
+        "Shape check: zero wait alone, queue wait and per-query delay grow \
+         monotonically with shard count ✓"
+    );
+}

@@ -10,7 +10,9 @@ use crowdlearn_bandit::{
     UcbAlp,
 };
 use crowdlearn_classifiers::{profiles, ClassDistribution, Classifier, SimulatedExpert};
-use crowdlearn_crowd::{IncentiveLevel, PendingHit, Platform, PlatformConfig, QueryResponse};
+use crowdlearn_crowd::{
+    IncentiveLevel, PendingHit, Platform, PlatformConfig, PlatformStats, QueryResponse, SubmitterId,
+};
 use crowdlearn_dataset::{
     DamageLabel, Dataset, LabeledImage, SensingCycle, SensingCycleStream, TemporalContext,
 };
@@ -540,6 +542,21 @@ impl CrowdLearnSystem {
         self.ipd.observations()
     }
 
+    /// Declares the [`SubmitterId`] the platform books subsequent posts
+    /// against — a fleet orchestrator tags each shard's system with the
+    /// shard index at boot so [`CrowdLearnSystem::platform_stats`] exposes
+    /// per-shard worker-seconds attribution. Attribution only; no RNG draw
+    /// or behavioral change.
+    pub fn set_platform_submitter(&mut self, submitter: SubmitterId) {
+        self.platform.set_submitter(submitter);
+    }
+
+    /// The platform's accounting breakdown (queries vs reposts per
+    /// context/incentive cell, per-submitter worker-seconds and spend).
+    pub fn platform_stats(&self) -> &PlatformStats {
+        self.platform.stats()
+    }
+
     /// Appends the system's complete learning state to `out`: the committee
     /// members and Hedge weights, the QSS and platform RNGs, the incentive
     /// bandit with its budget ledger, CQC's trained model, and the bootstrap
@@ -700,7 +717,11 @@ impl CrowdLearnSystem {
             return None;
         }
         let images = cycle.images(dataset);
-        let pending = self.platform.post(images[image_index], level, work.context);
+        // Booked as a repost: the platform draws the identical worker
+        // outcome but keeps the retry out of the logical query tally.
+        let pending = self
+            .platform
+            .repost(images[image_index], level, work.context);
         work.spent_cents += u64::from(level.cents());
         Some(PostedQuery {
             image_index,

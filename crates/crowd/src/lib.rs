@@ -69,7 +69,8 @@ pub use delay::DelayModel;
 pub use incentive::IncentiveLevel;
 pub use pilot::{PilotCell, PilotConfig, PilotReport, PilotStudy};
 pub use platform::{
-    PendingHit, Platform, PlatformConfig, PlatformStats, QueryResponse, WorkerResponse,
+    PendingHit, Platform, PlatformConfig, PlatformStats, QueryResponse, SubmitterId,
+    SubmitterUsage, WorkerResponse,
 };
 pub use quality::QualityModel;
 pub use questionnaire::QuestionnaireAnswers;

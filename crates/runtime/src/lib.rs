@@ -29,6 +29,13 @@
 //! - [`ParallelSweep`] — scoped-thread executor running one independently
 //!   seeded experiment per sweep point, returning results in input order,
 //!   with [`SweepCheckpoints`] for periodic per-point snapshots.
+//! - [`FleetOrchestrator`] — N concurrent shards (one [`PipelinedSystem`]
+//!   per disaster stream) multiplexed into a single deterministic global
+//!   event order over a shared worker pool (cross-stream contention defers
+//!   HIT completions) and a shared budget ledger ([`FleetLedger`], split
+//!   into per-shard quotas by an [`ArbitrationPolicy`]). The whole fleet
+//!   checkpoints into a [`FleetSnapshot`]; a 1-shard fleet is
+//!   byte-identical to the bare pipelined runtime (`tests/determinism.rs`).
 //! - [`MetricsTap`] — a deterministic streaming-metrics sink fed by the
 //!   driver at every event boundary: rolling crowd-delay quantiles (overall
 //!   and per temporal context), spend pacing against the budget ledger,
@@ -56,6 +63,7 @@
 mod clock;
 mod config;
 mod event;
+mod fleet;
 mod hit;
 mod metrics;
 mod pipeline;
@@ -66,6 +74,10 @@ mod sweep;
 pub use clock::VirtualClock;
 pub use config::RuntimeConfig;
 pub use event::{Event, EventKind};
+pub use fleet::{
+    ArbitrationPolicy, ContentionStats, FleetConfig, FleetLedger, FleetOrchestrator, FleetReport,
+    FleetSnapshot, FleetSnapshotError, ShardSpec, FLEET_SNAPSHOT_FORMAT_VERSION,
+};
 pub use hit::{HitBoard, HitId, InFlightHit};
 pub use metrics::{MetricKind, MetricRecord, MetricsSink, MetricsTap, MetricsTapConfig};
 pub use pipeline::{blocking_makespan_secs, PipelinedSystem, RunBound, RuntimeReport};

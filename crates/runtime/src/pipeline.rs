@@ -1,12 +1,13 @@
 //! The pipelined CrowdLearn system: the paper's closed loop re-driven as a
 //! discrete-event simulation so crowd waits overlap computation.
 
+use crate::fleet::FleetHook;
 use crate::{
     EventKind, EventQueue, HitBoard, HitId, MetricKind, MetricRecord, MetricsSink, MetricsTap,
     RuntimeConfig, RuntimeSnapshot, SnapshotError, VirtualClock,
 };
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem, CycleOutcome, CycleWork, SchemeReport};
-use crowdlearn_crowd::IncentiveLevel;
+use crowdlearn_crowd::{IncentiveLevel, SubmitterId};
 use crowdlearn_dataset::{Dataset, SensingCycle, SensingCycleStream};
 use serde::binary::{Decode, DecodeError, Encode, Reader};
 use std::collections::{BTreeMap, VecDeque};
@@ -187,6 +188,20 @@ impl PipelinedSystem {
     /// Panics if `stream` has a different cycle count than the stream this
     /// execution started (or resumed) with.
     pub fn step(&mut self, dataset: &Dataset, stream: &SensingCycleStream) -> bool {
+        self.step_with(dataset, stream, None)
+    }
+
+    /// [`PipelinedSystem::step`] with an optional fleet context: when a
+    /// [`crate::FleetOrchestrator`] drives this system as a shard, the hook
+    /// layers shared-worker-pool contention onto every posted HIT and books
+    /// the spend into the fleet ledger. `None` (the standalone path) is
+    /// byte-identical to the pre-fleet loop.
+    pub(crate) fn step_with(
+        &mut self,
+        dataset: &Dataset,
+        stream: &SensingCycleStream,
+        fleet: Option<FleetHook<'_>>,
+    ) -> bool {
         self.start(stream);
         let exec = self
             .exec
@@ -209,9 +224,23 @@ impl PipelinedSystem {
             cycles: stream.cycles(),
             exec,
             tap: self.tap.as_mut(),
+            fleet,
         }
         .handle(event.kind);
         true
+    }
+
+    /// Virtual due time of the next pending event, or `None` when no
+    /// execution is in progress or its queue has drained. The fleet
+    /// orchestrator merges shard queues by `(due, shard index)` off this.
+    pub(crate) fn next_event_due_secs(&self) -> Option<f64> {
+        self.exec.as_ref()?.queue.peek().map(|e| e.at_secs)
+    }
+
+    /// Tags the underlying platform with the shard's identity so
+    /// `PlatformStats` attributes worker-seconds per shard.
+    pub(crate) fn set_platform_submitter(&mut self, submitter: SubmitterId) {
+        self.system.set_platform_submitter(submitter);
     }
 
     /// Drives the event loop until `bound` is exhausted or the queue
@@ -291,8 +320,9 @@ impl PipelinedSystem {
         }
     }
 
-    /// Closes out a drained execution into its report.
-    fn finish(&mut self) -> RuntimeReport {
+    /// Closes out a drained execution into its report. Crate-visible so the
+    /// fleet orchestrator can finalize its shards.
+    pub(crate) fn finish(&mut self) -> RuntimeReport {
         let exec = self
             .exec
             .take()
@@ -482,6 +512,9 @@ struct Driver<'a> {
     cycles: &'a [SensingCycle],
     exec: &'a mut ExecState,
     tap: Option<&'a mut MetricsTap>,
+    /// Fleet context when this system runs as a shard: shared-pool
+    /// contention deferral and fleet-ledger booking on every post.
+    fleet: Option<FleetHook<'a>>,
 }
 
 impl Driver<'_> {
@@ -589,7 +622,10 @@ impl Driver<'_> {
             .system
             .post_next_query(work, &self.cycles[k], self.dataset)
         {
-            Some(posted) => {
+            Some(mut posted) => {
+                if let Some(hook) = self.fleet.as_mut() {
+                    hook.absorb_post(now, &mut posted);
+                }
                 let delay = posted.pending.completion_delay_secs();
                 let incentive = posted.incentive;
                 let hit =
@@ -695,13 +731,16 @@ impl Driver<'_> {
                 .active
                 .get_mut(&k)
                 .expect("invariant: HIT events only target active cycles");
-            if let Some(posted) = self.system.repost_query(
+            if let Some(mut posted) = self.system.repost_query(
                 work,
                 &self.cycles[k],
                 self.dataset,
                 inflight.image_index,
                 level,
             ) {
+                if let Some(hook) = self.fleet.as_mut() {
+                    hook.absorb_post(now, &mut posted);
+                }
                 self.exec.reposts += 1;
                 let delay = posted.pending.completion_delay_secs();
                 let incentive = posted.incentive;

@@ -33,8 +33,10 @@ const MAGIC: [u8; 8] = *b"CLSNAP\x00\x01";
 /// Current snapshot format version. Bump on any payload layout change.
 ///
 /// Version history: 1 — initial format; 2 — `CycleOutcome` gained exact
-/// per-query delays and the payload gained the optional metrics tap.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+/// per-query delays and the payload gained the optional metrics tap;
+/// 3 — the `Platform` codec gained the submitter id and `PlatformStats`
+/// gained the repost grid and per-submitter usage (fleet attribution).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be produced or restored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,8 +170,8 @@ impl RuntimeSnapshot {
 
 /// FNV-1a 64-bit over the payload — cheap, dependency-free, and plenty to
 /// catch torn writes and bit flips (this guards against accidents, not
-/// adversaries).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// adversaries). Shared with the fleet snapshot frame (`crate::fleet`).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);

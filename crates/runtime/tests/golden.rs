@@ -80,7 +80,7 @@ fn blocking_makespan_sums_exact_per_query_delays() {
 
     // Delays chosen so the old mean-times-count reconstruction
     // `(Σdᵢ/n)·n` does NOT round-trip to `Σdᵢ` in f64.
-    let delays = vec![1.0, 2.0, 0.3];
+    let delays = vec![0.1, 0.3, 2.7];
     let exact_sum: f64 = delays.iter().sum();
     let mean = exact_sum / delays.len() as f64;
     assert_ne!(

@@ -13,18 +13,15 @@
 //! reference run byte for byte.
 
 use crowdlearn::CrowdLearnConfig;
-use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
-use crowdlearn_runtime::{PipelinedSystem, RunBound, RuntimeConfig, RuntimeSnapshot};
+use crowdlearn_runtime::{PipelinedSystem, RunBound, RuntimeSnapshot};
+use crowdlearn_suite::scenarios;
 
 fn main() {
     // A short stream with a HIT timeout so the checkpoint covers the whole
     // event vocabulary: arrivals, inference, HITs in flight, timeouts,
     // escalated reposts, and waited-out late answers.
-    let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(7));
-    let stream = SensingCycleStream::new(&dataset, 10, 5);
-    let runtime = RuntimeConfig::paper()
-        .with_inflight_window(3)
-        .with_hit_timeout(Some(150.0), 2);
+    let (dataset, stream) = scenarios::demo(7);
+    let runtime = scenarios::demo_runtime();
 
     // Reference: one uninterrupted run.
     let mut reference = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), runtime);

@@ -12,11 +12,10 @@
 //! uniform-weight committee.
 
 use crowdlearn::{CalibratorConfig, CrowdLearnConfig, CrowdLearnSystem};
-use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+use crowdlearn_suite::scenarios;
 
 fn main() {
-    let dataset = Dataset::generate(&DatasetConfig::paper().with_family_drift(true));
-    let stream = SensingCycleStream::paper(&dataset);
+    let (dataset, stream) = scenarios::paper_with_drift();
 
     let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
     let (report, trace) = system.run_traced(&dataset, &stream);

@@ -15,11 +15,11 @@
 //! event.
 
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
-use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig, SensingCycleStream};
+use crowdlearn_dataset::DamageLabel;
+use crowdlearn_suite::scenarios;
 
 fn main() {
-    let dataset = Dataset::generate(&DatasetConfig::paper());
-    let stream = SensingCycleStream::paper(&dataset);
+    let (dataset, stream) = scenarios::paper();
     let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
 
     let mut dispatched_correctly = 0usize;

@@ -16,13 +16,14 @@ use crowdlearn_bandit::{
     UcbAlp,
 };
 use crowdlearn_crowd::{IncentiveLevel, PilotConfig, PilotStudy, Platform, PlatformConfig};
-use crowdlearn_dataset::{Dataset, DatasetConfig, SyntheticImage, TemporalContext};
+use crowdlearn_dataset::{SyntheticImage, TemporalContext};
+use crowdlearn_suite::scenarios;
 
 const BUDGET_CENTS: f64 = 1000.0;
 const ROUNDS: u64 = 200;
 
 fn main() {
-    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let (dataset, _stream) = scenarios::paper();
     let images: Vec<&SyntheticImage> = dataset.train().iter().take(60).collect();
 
     // 1. Characterize the platform, as the paper's pilot study does.

@@ -15,15 +15,13 @@
 //! snapshots.
 
 use crowdlearn::CrowdLearnConfig;
-use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream, TemporalContext};
-use crowdlearn_runtime::{MetricsTap, PipelinedSystem, RunBound, RuntimeConfig};
+use crowdlearn_dataset::TemporalContext;
+use crowdlearn_runtime::{MetricsTap, PipelinedSystem, RunBound};
+use crowdlearn_suite::scenarios;
 
 fn main() {
-    let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(7));
-    let stream = SensingCycleStream::new(&dataset, 10, 5);
-    let runtime = RuntimeConfig::paper()
-        .with_inflight_window(3)
-        .with_hit_timeout(Some(150.0), 2);
+    let (dataset, stream) = scenarios::demo(7);
+    let runtime = scenarios::demo_runtime();
 
     let mut system = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), runtime);
     system.attach_metrics_tap(MetricsTap::new());

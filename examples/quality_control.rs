@@ -15,13 +15,14 @@ use crowdlearn::QualityController;
 use crowdlearn_crowd::{
     IncentiveLevel, Platform, PlatformConfig, QueryResponse, Worker, WorkerPool,
 };
-use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig, TemporalContext};
+use crowdlearn_dataset::{DamageLabel, Dataset, TemporalContext};
+use crowdlearn_suite::scenarios;
 use crowdlearn_truth::{
     Aggregator, Annotation, DawidSkeneEm, MajorityVoting, WorkerFiltering, WorkerId,
 };
 
 fn main() {
-    let dataset = Dataset::generate(&DatasetConfig::paper());
+    let (dataset, _stream) = scenarios::paper();
 
     println!("=== normal worker population ===");
     let mut platform = Platform::new(PlatformConfig::paper().with_seed(5));

@@ -10,12 +10,13 @@
 //! 40 sensing cycles, and print the headline numbers.
 
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
-use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+use crowdlearn_suite::scenarios;
 
 fn main() {
     // 1. The synthetic stand-in for the paper's 960 Ecuador-earthquake
-    //    images: 560 train / 400 test, balanced classes.
-    let dataset = Dataset::generate(&DatasetConfig::paper());
+    //    images (560 train / 400 test, balanced classes), streamed as the
+    //    paper's 40 sensing cycles of 10 images each.
+    let (dataset, stream) = scenarios::paper();
     println!(
         "dataset: {} images ({} train / {} test)",
         dataset.len(),
@@ -23,11 +24,7 @@ fn main() {
         dataset.test().len()
     );
 
-    // 2. The evaluation stream: 40 sensing cycles of 10 images, rotating
-    //    through the four temporal contexts.
-    let stream = SensingCycleStream::paper(&dataset);
-
-    // 3. Boot CrowdLearn. This trains the committee on the training split,
+    // 2. Boot CrowdLearn. This trains the committee on the training split,
     //    fits the CQC boosting model on training-split crowd responses, and
     //    warms up the incentive bandit — then runs the closed loop.
     let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());

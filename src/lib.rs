@@ -2,5 +2,51 @@
 //!
 //! The library target exists so `tests/` and `examples/` at the repository
 //! root can share the workspace dependency graph; all functionality lives in
-//! the `crates/` members.
+//! the `crates/` members. The one exception is [`scenarios`]: the tiny
+//! dataset/stream/config builders the runnable examples share, factored here
+//! so each example opens with its scenario in one line instead of repeating
+//! the same generation boilerplate.
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Shared example scenarios: every runnable example under `examples/` is a
+/// view over one of these fixtures, so the numbers printed by different
+/// examples are directly comparable.
+pub mod scenarios {
+    use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+    use crowdlearn_runtime::RuntimeConfig;
+
+    /// The paper's full evaluation scenario: the 960-image Ecuador
+    /// earthquake stand-in streamed as 40 sensing cycles of 10 images.
+    pub fn paper() -> (Dataset, SensingCycleStream) {
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        let stream = SensingCycleStream::paper(&dataset);
+        (dataset, stream)
+    }
+
+    /// The paper scenario with mid-stream family drift enabled — the
+    /// distribution-shift fixture `drift_adaptation` adapts to.
+    pub fn paper_with_drift() -> (Dataset, SensingCycleStream) {
+        let dataset = Dataset::generate(&DatasetConfig::paper().with_family_drift(true));
+        let stream = SensingCycleStream::paper(&dataset);
+        (dataset, stream)
+    }
+
+    /// A short runtime demo: a seeded paper-shaped dataset streamed as 10
+    /// cycles of 5 images — small enough that event-loop examples
+    /// (checkpointing, metrics, fleets) finish in seconds.
+    pub fn demo(seed: u64) -> (Dataset, SensingCycleStream) {
+        let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(seed));
+        let stream = SensingCycleStream::new(&dataset, 10, 5);
+        (dataset, stream)
+    }
+
+    /// The runtime configuration the event-loop demos share: a window of 3
+    /// with a HIT timeout tight enough that timeouts, escalated reposts and
+    /// late answers all occur, exercising the full event vocabulary.
+    pub fn demo_runtime() -> RuntimeConfig {
+        RuntimeConfig::paper()
+            .with_inflight_window(3)
+            .with_hit_timeout(Some(150.0), 2)
+    }
+}

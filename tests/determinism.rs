@@ -8,8 +8,9 @@
 use crowdlearn::CrowdLearnConfig;
 use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
 use crowdlearn_runtime::{
-    MetricsTap, ParallelSweep, PipelinedSystem, RunBound, RuntimeConfig, RuntimeReport,
-    RuntimeSnapshot, SnapshotError, SweepCheckpoints,
+    FleetConfig, FleetOrchestrator, FleetSnapshot, FleetSnapshotError, MetricsTap, ParallelSweep,
+    PipelinedSystem, RunBound, RuntimeConfig, RuntimeReport, RuntimeSnapshot, ShardSpec,
+    SnapshotError, SweepCheckpoints,
 };
 
 fn dataset(seed: u64) -> Dataset {
@@ -216,6 +217,196 @@ fn sweep_point_resumed_from_auto_snapshot_matches_uninterrupted() {
             "sweep point {i} (seed {seed}) diverged when resumed from its auto-snapshot"
         );
     }
+}
+
+/// A 2-shard fleet fixture over distinct disaster seeds, sharing the
+/// default pool with the paper budget quota per shard.
+fn fleet_fixture(seeds: &[u64]) -> (Vec<Dataset>, Vec<SensingCycleStream>, FleetOrchestrator) {
+    let datasets: Vec<Dataset> = seeds.iter().map(|&s| dataset(s)).collect();
+    let streams: Vec<SensingCycleStream> = datasets
+        .iter()
+        .map(|d| SensingCycleStream::new(d, 8, 5))
+        .collect();
+    let specs: Vec<ShardSpec> = seeds
+        .iter()
+        .map(|_| ShardSpec::new(CrowdLearnConfig::paper(), runtime_config()))
+        .collect();
+    let budget = CrowdLearnConfig::paper().budget_cents * seeds.len() as f64;
+    let mut fleet = FleetOrchestrator::new(specs, FleetConfig::new(budget), &datasets);
+    fleet.attach_metrics_taps();
+    (datasets, streams, fleet)
+}
+
+#[test]
+fn one_shard_fleet_matches_the_bare_runtime_byte_for_byte() {
+    // The golden parity claim: a fleet of one — fair-share quota, nobody
+    // else on the pool — must be indistinguishable from the standalone
+    // pipelined runtime, down to the last bit of every f64.
+    let baseline = short_run(7);
+    let datasets = vec![dataset(7)];
+    let streams = vec![SensingCycleStream::new(&datasets[0], 8, 5)];
+    let specs = vec![ShardSpec::new(CrowdLearnConfig::paper(), runtime_config())];
+    let mut fleet = FleetOrchestrator::new(
+        specs,
+        FleetConfig::new(CrowdLearnConfig::paper().budget_cents),
+        &datasets,
+    );
+    assert_eq!(
+        fleet.ledger().quota_cents(0).to_bits(),
+        CrowdLearnConfig::paper().budget_cents.to_bits(),
+        "the lone shard's quota must be the untouched paper budget"
+    );
+    let report = fleet.run(&datasets, &streams);
+
+    assert_eq!(report.shards.len(), 1);
+    assert_eq!(
+        format!("{:?}", report.shards[0]),
+        format!("{baseline:?}"),
+        "a 1-shard fleet diverged from the bare pipelined runtime"
+    );
+    assert_eq!(report.contention.waits_applied, 0);
+    assert_eq!(report.contention.total_wait_secs, 0.0);
+    assert!(report.contention.posts > 0);
+    assert_eq!(
+        report.ledger.spent_cents(0),
+        report.shards[0]
+            .outcomes
+            .iter()
+            .map(|o| o.spent_cents)
+            .sum::<u64>(),
+        "the fleet ledger must agree with the shard's own spend"
+    );
+}
+
+#[test]
+fn fleet_same_seeds_twice_is_byte_identical_and_contention_is_real() {
+    let (datasets, streams, mut fleet_a) = fleet_fixture(&[7, 8]);
+    let a = fleet_a.run(&datasets, &streams);
+    let (_, _, mut fleet_b) = fleet_fixture(&[7, 8]);
+    let b = fleet_b.run(&datasets, &streams);
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "two same-seed fleet runs rendered different reports"
+    );
+
+    // The shared pool must actually couple the shards: cross-stream
+    // contention defers completions, so shard 7's report differs from its
+    // uncontended standalone run.
+    assert!(a.contention.waits_applied > 0, "no queue waits applied");
+    assert!(a.contention.total_wait_secs > 0.0);
+    assert!(a.contention.peak_busy_workers > 0);
+    let solo = short_run(7);
+    assert_ne!(
+        format!("{:?}", a.shards[0].outcomes),
+        format!("{:?}", solo.outcomes),
+        "a contended shard must not match its uncontended solo run"
+    );
+
+    // Per-shard attribution and the rollup sketch cover the whole fleet.
+    for (i, shard) in a.shards.iter().enumerate() {
+        assert_eq!(
+            a.ledger.spent_cents(i),
+            shard.outcomes.iter().map(|o| o.spent_cents).sum::<u64>(),
+            "shard {i} ledger spend diverged from its outcomes"
+        );
+        assert_eq!(
+            a.ledger.spent_cents(i),
+            fleet_a.shard_usage(i).spent_cents,
+            "shard {i} ledger spend diverged from its platform attribution"
+        );
+        assert!(fleet_a.shard_usage(i).worker_seconds > 0.0);
+        assert!(a.ledger.spent_cents(i) as f64 <= a.ledger.quota_cents(i));
+    }
+    let rollup = a.rollup_crowd_delay.as_ref().expect("taps were attached");
+    let per_shard: u64 = a
+        .shards
+        .iter()
+        .map(|s| {
+            s.metrics
+                .as_ref()
+                .expect("tap rides the report")
+                .crowd_delay()
+                .len()
+        })
+        .sum();
+    assert_eq!(
+        rollup.len(),
+        per_shard,
+        "rollup must merge every shard's sketch"
+    );
+}
+
+#[test]
+fn fleet_snapshot_resume_is_byte_identical_at_sampled_event_boundaries() {
+    let (datasets, streams, mut fleet) = fleet_fixture(&[7, 8]);
+    let baseline = fleet.run(&datasets, &streams);
+    let total = baseline.events_processed;
+    assert!(
+        baseline.contention.waits_applied > 0,
+        "fixture must checkpoint under real contention"
+    );
+
+    // Pause at global event boundaries spread across the merged timeline —
+    // including before the first event — serialize through bytes, resume,
+    // finish, compare byte-for-byte.
+    let cuts = [0, 1, total / 4, total / 2, (3 * total) / 4, total - 1];
+    for cut in cuts {
+        let (_, _, mut fleet) = fleet_fixture(&[7, 8]);
+        let paused = fleet.run_until(&datasets, &streams, RunBound::Events(cut));
+        assert!(
+            paused.is_none(),
+            "cut {cut} of {total} must pause, not drain"
+        );
+        let bytes = fleet
+            .snapshot()
+            .expect("paper fleet is checkpointable")
+            .to_bytes();
+        let snapshot = FleetSnapshot::from_bytes(&bytes).expect("frame validates");
+        let mut resumed =
+            FleetOrchestrator::resume(&snapshot, &streams).expect("payload validates");
+        let report = resumed.run(&datasets, &streams);
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{baseline:?}"),
+            "fleet resume from event boundary {cut}/{total} diverged"
+        );
+    }
+}
+
+#[test]
+fn fleet_snapshot_rejects_tampering_and_mismatched_shard_sets() {
+    let (datasets, streams, mut fleet) = fleet_fixture(&[7, 8]);
+    assert!(fleet
+        .run_until(&datasets, &streams, RunBound::Events(60))
+        .is_none());
+    let bytes = fleet.snapshot().expect("checkpointable").to_bytes();
+
+    let mut wrong_version = bytes.clone();
+    wrong_version[8] ^= 0x40;
+    assert!(matches!(
+        FleetSnapshot::from_bytes(&wrong_version),
+        Err(FleetSnapshotError::VersionMismatch { .. })
+    ));
+
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x01;
+    assert_eq!(
+        FleetSnapshot::from_bytes(&corrupt),
+        Err(FleetSnapshotError::ChecksumMismatch)
+    );
+
+    // Resuming a 2-shard fleet against one stream is refused before any
+    // shard state is rebuilt.
+    let snapshot = FleetSnapshot::from_bytes(&bytes).expect("untampered frame validates");
+    assert!(matches!(
+        FleetOrchestrator::resume(&snapshot, &streams[..1]),
+        Err(FleetSnapshotError::ShardCountMismatch {
+            expected: 2,
+            found: 1
+        })
+    ));
 }
 
 #[test]
