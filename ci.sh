@@ -12,8 +12,17 @@ cargo fmt --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> detlint (determinism & hygiene, rules D1-D6)"
-cargo run -q -p detlint --offline
+echo "==> detlint (determinism & hygiene + codec drift, rules D1-D9)"
+# The JSON report is a build artifact alongside the bench JSONs; the gate
+# still fails on findings, after printing the human-readable diagnostics.
+detlint_status=0
+cargo run -q -p detlint --offline -- --json > DETLINT_REPORT.json || detlint_status=$?
+findings=$(grep -o '"code":' DETLINT_REPORT.json | wc -l | tr -d ' ')
+echo "detlint: ${findings} finding(s) -- report in DETLINT_REPORT.json"
+if [ "${detlint_status}" -ne 0 ]; then
+    cargo run -q -p detlint --offline || true
+    exit "${detlint_status}"
+fi
 
 echo "==> cargo build --release"
 cargo build --release --offline

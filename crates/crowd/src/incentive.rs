@@ -92,7 +92,9 @@ impl fmt::Display for IncentiveLevel {
 // Snapshot codec: levels travel as their stable action index.
 impl Encode for IncentiveLevel {
     fn encode(&self, out: &mut Vec<u8>) {
-        (self.index() as u8).encode(out);
+        u8::try_from(self.index())
+            .expect("invariant: IncentiveLevel::COUNT is 7, every index fits u8")
+            .encode(out);
     }
 }
 
@@ -114,6 +116,25 @@ mod tests {
         for level in IncentiveLevel::ALL {
             assert_eq!(IncentiveLevel::from_index(level.index()), level);
         }
+    }
+
+    #[test]
+    fn wire_bytes_are_the_stable_indices() {
+        // Pins the wire format: a level travels as one byte holding its
+        // action index (the former `as u8` cast, now a checked conversion,
+        // must not have changed a single bit), and round-trips.
+        let bytes: Vec<u8> = IncentiveLevel::ALL
+            .iter()
+            .flat_map(|l| l.to_bytes())
+            .collect();
+        assert_eq!(bytes, vec![0, 1, 2, 3, 4, 5, 6]);
+        for level in IncentiveLevel::ALL {
+            assert_eq!(IncentiveLevel::from_bytes(&level.to_bytes()), Ok(level));
+        }
+        assert_eq!(
+            IncentiveLevel::from_bytes(&[IncentiveLevel::COUNT as u8]),
+            Err(DecodeError::Invalid)
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@ impl Decode for ImageId {
 
 impl Encode for DamageLabel {
     fn encode(&self, out: &mut Vec<u8>) {
-        (self.index() as u8).encode(out);
+        u8::try_from(self.index())
+            .expect("invariant: DamageLabel::ALL has 3 variants, every index fits u8")
+            .encode(out);
     }
 }
 
@@ -36,7 +38,9 @@ impl Decode for DamageLabel {
 
 impl Encode for TemporalContext {
     fn encode(&self, out: &mut Vec<u8>) {
-        (self.index() as u8).encode(out);
+        u8::try_from(self.index())
+            .expect("invariant: TemporalContext::ALL has 4 variants, every index fits u8")
+            .encode(out);
     }
 }
 
@@ -63,6 +67,20 @@ mod tests {
         }
         let id = ImageId(0xbeef);
         assert_eq!(ImageId::from_bytes(&id.to_bytes()), Ok(id));
+    }
+
+    #[test]
+    fn enum_wire_bytes_are_the_stable_indices() {
+        // Pins the wire format: each vocabulary enum travels as exactly one
+        // byte holding its stable index (the former `as u8` cast, now a
+        // checked conversion, must not have changed a single bit).
+        let labels: Vec<u8> = DamageLabel::ALL.iter().flat_map(|l| l.to_bytes()).collect();
+        assert_eq!(labels, vec![0, 1, 2]);
+        let contexts: Vec<u8> = TemporalContext::ALL
+            .iter()
+            .flat_map(|c| c.to_bytes())
+            .collect();
+        assert_eq!(contexts, vec![0, 1, 2, 3]);
     }
 
     #[test]

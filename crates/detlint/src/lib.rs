@@ -5,16 +5,23 @@
 //! and figure is a seeded re-run. Nothing in rustc enforces that property, so
 //! this crate does. It is a lexer-level scanner (no `syn` — the registry is
 //! unreachable and the linter must build before anything it gates) that walks
-//! every workspace crate and reports violations of six invariants:
+//! every workspace crate and reports violations of nine invariants:
 //!
-//! | code | rule name       | invariant |
-//! |------|-----------------|-----------|
-//! | D1   | `hash-order`    | no `HashMap`/`HashSet` in simulation crates (nondeterministic iteration order) |
-//! | D2   | `wall-clock`    | no `Instant::now`/`SystemTime` outside the bench crate (virtual time only) |
-//! | D3   | `entropy-rng`   | no `thread_rng`/`from_entropy`/`rand::random` — RNG comes from seeded constructors |
-//! | D4   | `panic-paths`   | no `unwrap()`, and `expect()` only with an `"invariant: …"` message, in core/runtime library code |
-//! | D5   | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
-//! | D6   | `ambient-env`   | no `env::var` reads in simulation crates (no ambient state) |
+//! | code | rule name        | invariant |
+//! |------|------------------|-----------|
+//! | D1   | `hash-order`     | no `HashMap`/`HashSet` in simulation crates (nondeterministic iteration order) |
+//! | D2   | `wall-clock`     | no `Instant::now`/`SystemTime` outside the bench crate (virtual time only) |
+//! | D3   | `entropy-rng`    | no `thread_rng`/`from_entropy`/`rand::random` — RNG comes from seeded constructors |
+//! | D4   | `panic-paths`    | no `unwrap()`, and `expect()` only with an `"invariant: …"` message, in core/runtime library code |
+//! | D5   | `forbid-unsafe`  | every crate root carries `#![forbid(unsafe_code)]` |
+//! | D6   | `ambient-env`    | no `env::var` reads in simulation crates (no ambient state) |
+//! | D7   | `codec-symmetry` | every `encode*`/`decode*` pair reads and writes the same ordered field sequence |
+//! | D8   | `schema-lock`    | codec fingerprints + `*VERSION*` constants match the committed `SNAPSHOT_SCHEMA.lock` |
+//! | D9   | `lossy-cast`     | no `as` numeric casts inside codec fns (use `try_from` or justify) |
+//!
+//! D7–D9 form the **snapcheck** codec-drift pass (see [`mod@snapcheck`]'s
+//! module docs); D8 has no allow escape — the lockfile, regenerated only via
+//! `--update-schema-lock` after a version-constant bump, is the escape hatch.
 //!
 //! A finding can be suppressed at the site with a justified allow comment on
 //! the same line or the line above:
@@ -38,7 +45,13 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The six determinism/hygiene rules.
+mod snapcheck;
+
+pub use snapcheck::{
+    plan_schema_update, CodecFingerprint, SchemaLock, SchemaReport, VersionConst, SCHEMA_LOCK_FILE,
+};
+
+/// The nine determinism/hygiene rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// D1: no `HashMap`/`HashSet` in simulation crates.
@@ -53,17 +66,26 @@ pub enum Rule {
     ForbidUnsafe,
     /// D6: no `env::var` ambient state in simulation crates.
     AmbientEnv,
+    /// D7: paired `encode*`/`decode*` fns must agree on the field sequence.
+    CodecSymmetry,
+    /// D8: codec fingerprints must match `SNAPSHOT_SCHEMA.lock`.
+    SchemaLock,
+    /// D9: no `as` numeric casts inside codec fns.
+    LossyCast,
 }
 
 impl Rule {
     /// All rules, in code order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::HashOrder,
         Rule::WallClock,
         Rule::EntropyRng,
         Rule::PanicPaths,
         Rule::ForbidUnsafe,
         Rule::AmbientEnv,
+        Rule::CodecSymmetry,
+        Rule::SchemaLock,
+        Rule::LossyCast,
     ];
 
     /// Short diagnostic code, `D1`..`D6`.
@@ -75,6 +97,9 @@ impl Rule {
             Rule::PanicPaths => "D4",
             Rule::ForbidUnsafe => "D5",
             Rule::AmbientEnv => "D6",
+            Rule::CodecSymmetry => "D7",
+            Rule::SchemaLock => "D8",
+            Rule::LossyCast => "D9",
         }
     }
 
@@ -87,6 +112,9 @@ impl Rule {
             Rule::PanicPaths => "panic-paths",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::AmbientEnv => "ambient-env",
+            Rule::CodecSymmetry => "codec-symmetry",
+            Rule::SchemaLock => "schema-lock",
+            Rule::LossyCast => "lossy-cast",
         }
     }
 
@@ -105,6 +133,18 @@ impl Rule {
             Rule::AmbientEnv => {
                 "thread configuration through explicit Config structs, not env vars"
             }
+            Rule::CodecSymmetry => {
+                "make the encode/decode field sequences symmetric, or annotate \
+                 `// detlint: allow(codec-symmetry): <reason>`"
+            }
+            Rule::SchemaLock => {
+                "bump the snapshot format version, then `cargo run -p detlint -- \
+                 --update-schema-lock`"
+            }
+            Rule::LossyCast => {
+                "use try_from with a typed error (or a stated-invariant expect), or \
+                 annotate `// detlint: allow(lossy-cast): <reason>`"
+            }
         }
     }
 
@@ -117,7 +157,15 @@ impl Rule {
     /// are part of the seeded, reproducible surface); the container-shape and
     /// panic-path rules only guard library code.
     fn skips_test_code(self) -> bool {
-        matches!(self, Rule::HashOrder | Rule::PanicPaths | Rule::AmbientEnv)
+        matches!(
+            self,
+            Rule::HashOrder
+                | Rule::PanicPaths
+                | Rule::AmbientEnv
+                | Rule::CodecSymmetry
+                | Rule::SchemaLock
+                | Rule::LossyCast
+        )
     }
 }
 
@@ -133,6 +181,8 @@ pub struct Config {
     pub wall_clock_exempt: Vec<String>,
     /// Crates whose library code must not panic mid-cycle (D4 scope).
     pub panic_paths: Vec<String>,
+    /// Crates holding hand-written binary codecs (D7/D8/D9 scope).
+    pub codec: Vec<String>,
     /// Workspace-relative path prefixes never scanned (e.g. lint fixtures).
     pub exclude: Vec<String>,
 }
@@ -155,6 +205,18 @@ impl Default for Config {
             .to_vec(),
             wall_clock_exempt: vec!["bench".to_string()],
             panic_paths: vec!["core".to_string(), "runtime".to_string()],
+            codec: [
+                "bandit",
+                "classifiers",
+                "core",
+                "crowd",
+                "dataset",
+                "gbdt",
+                "metrics",
+                "runtime",
+            ]
+            .map(String::from)
+            .to_vec(),
             exclude: vec!["crates/detlint/tests/fixtures".to_string()],
         }
     }
@@ -164,7 +226,7 @@ impl Config {
     /// Parses the `detlint.toml` dialect: `[section]` headers, `key = bool`,
     /// `key = "string"`, and single-line `key = ["a", "b"]` arrays. Sections:
     /// `[rules]` (per-rule toggles by name) and `[scope]`
-    /// (`simulation`/`wall-clock-exempt`/`panic-paths`/`exclude` lists).
+    /// (`simulation`/`wall-clock-exempt`/`panic-paths`/`codec`/`exclude` lists).
     /// Unknown keys are errors — a typo must not silently disable a gate.
     pub fn parse(text: &str) -> Result<Config, String> {
         let mut cfg = Config::default();
@@ -206,6 +268,7 @@ impl Config {
                         "simulation" => cfg.simulation = list,
                         "wall-clock-exempt" => cfg.wall_clock_exempt = list,
                         "panic-paths" => cfg.panic_paths = list,
+                        "codec" => cfg.codec = list,
                         "exclude" => cfg.exclude = list,
                         _ => return Err(err(&format!("unknown scope key `{key}`"))),
                     }
@@ -231,6 +294,7 @@ impl Config {
             Rule::HashOrder | Rule::AmbientEnv => has(&self.simulation),
             Rule::WallClock => !has(&self.wall_clock_exempt),
             Rule::PanicPaths => has(&self.panic_paths),
+            Rule::CodecSymmetry | Rule::SchemaLock | Rule::LossyCast => has(&self.codec),
             Rule::EntropyRng | Rule::ForbidUnsafe => true,
         }
     }
@@ -646,7 +710,13 @@ pub fn lint_source(
     for (idx, line) in lexed.code.iter().enumerate() {
         let test_line = kind == FileKind::TestCode || lexed.in_test[idx];
         for rule in Rule::ALL {
-            if rule == Rule::ForbidUnsafe || !cfg.rule_applies(rule, crate_name) {
+            // D5 is a file-level rule; D7/D8/D9 work on whole codec fns and
+            // run after this per-line loop (D8 at workspace level).
+            if matches!(
+                rule,
+                Rule::ForbidUnsafe | Rule::CodecSymmetry | Rule::SchemaLock | Rule::LossyCast
+            ) || !cfg.rule_applies(rule, crate_name)
+            {
                 continue;
             }
             if test_line && rule.skips_test_code() {
@@ -774,9 +844,17 @@ pub fn lint_source(
                         }
                     }
                 }
-                Rule::ForbidUnsafe => unreachable!("handled at file level"),
+                Rule::ForbidUnsafe | Rule::CodecSymmetry | Rule::SchemaLock | Rule::LossyCast => {
+                    unreachable!("handled outside the per-line loop")
+                }
             }
         }
+    }
+
+    let check_d7 = cfg.rule_applies(Rule::CodecSymmetry, crate_name);
+    let check_d9 = cfg.rule_applies(Rule::LossyCast, crate_name);
+    if kind != FileKind::TestCode && (check_d7 || check_d9) {
+        snapcheck::check_codecs(&lexed, check_d7, check_d9, &mut push);
     }
 
     if kind == FileKind::Root
@@ -826,12 +904,19 @@ fn expect_states_invariant(raw: &[String], idx: usize, open: usize) -> bool {
 // Workspace walking.
 // ---------------------------------------------------------------------------
 
-/// Scans the whole workspace rooted at `root`: every `crates/*` member plus
-/// the root `crowdlearn-suite` package (`src/`, `tests/`, `examples/`).
-/// Vendored stand-in crates under `vendor/` are third-party API surface and
-/// deliberately out of scope.
-pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
-    let mut report = Report::default();
+/// One `.rs` file the workspace walk decided to scan.
+struct WorkspaceFile {
+    crate_name: String,
+    rel: String,
+    path: PathBuf,
+    kind: FileKind,
+}
+
+/// Enumerates every scannable `.rs` file: each `crates/*` member plus the
+/// root `crowdlearn-suite` package (`src/`, `tests/`, `examples/`,
+/// `benches/`), honoring `cfg.exclude`. Vendored stand-in crates under
+/// `vendor/` are third-party API surface and deliberately out of scope.
+fn workspace_files(root: &Path, cfg: &Config) -> io::Result<Vec<WorkspaceFile>> {
     let mut members: Vec<(String, PathBuf)> = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -846,6 +931,7 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
     members.push(("suite".to_string(), root.to_path_buf()));
     members.sort();
 
+    let mut out = Vec::new();
     for (name, dir) in members {
         for (sub, kind_root) in [
             ("src", true),
@@ -872,18 +958,66 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
                 } else {
                     FileKind::Source
                 };
-                let source = fs::read_to_string(&file)?;
-                let (mut findings, suppressed) = lint_source(&source, &rel, &name, kind, cfg);
-                report.findings.append(&mut findings);
-                report.suppressed += suppressed;
-                report.files_scanned += 1;
+                out.push(WorkspaceFile {
+                    crate_name: name.clone(),
+                    rel,
+                    path: file,
+                    kind,
+                });
             }
         }
+    }
+    Ok(out)
+}
+
+/// Scans the whole workspace rooted at `root` with every enabled rule,
+/// including the workspace-level D8 lockfile comparison.
+pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut schema = SchemaReport::default();
+    let check_schema = cfg.rule_enabled(Rule::SchemaLock);
+    for wf in workspace_files(root, cfg)? {
+        let source = fs::read_to_string(&wf.path)?;
+        let (mut findings, suppressed) =
+            lint_source(&source, &wf.rel, &wf.crate_name, wf.kind, cfg);
+        report.findings.append(&mut findings);
+        report.suppressed += suppressed;
+        report.files_scanned += 1;
+        if check_schema
+            && wf.kind != FileKind::TestCode
+            && cfg.rule_applies(Rule::SchemaLock, &wf.crate_name)
+        {
+            snapcheck::collect_into(&lex(&source), &wf.rel, &wf.crate_name, &mut schema);
+        }
+    }
+    if check_schema {
+        // D8 deliberately bypasses the allow machinery: the lockfile (with a
+        // version bump) is the one sanctioned way to accept a schema change.
+        let lock_text = fs::read_to_string(root.join(SCHEMA_LOCK_FILE)).ok();
+        report.findings.append(&mut snapcheck::schema_findings(
+            &schema,
+            lock_text.as_deref(),
+        ));
     }
     report.findings.sort_by(|a, b| {
         (&a.path, a.line, a.column, a.rule).cmp(&(&b.path, b.line, b.column, b.rule))
     });
     Ok(report)
+}
+
+/// Collects the codec fingerprints and `*VERSION*` constants of every file
+/// in D8 scope — the input to [`plan_schema_update`] and the CLI's
+/// `--update-schema-lock` mode.
+pub fn collect_schema(root: &Path, cfg: &Config) -> io::Result<SchemaReport> {
+    let mut schema = SchemaReport::default();
+    for wf in workspace_files(root, cfg)? {
+        if wf.kind == FileKind::TestCode || !cfg.rule_applies(Rule::SchemaLock, &wf.crate_name) {
+            continue;
+        }
+        let source = fs::read_to_string(&wf.path)?;
+        snapcheck::collect_into(&lex(&source), &wf.rel, &wf.crate_name, &mut schema);
+    }
+    Ok(schema)
 }
 
 fn is_crate_root(src_dir: &Path, file: &Path) -> bool {

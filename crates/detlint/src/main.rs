@@ -1,7 +1,7 @@
 //! CLI for the determinism & hygiene lint pass.
 //!
 //! ```text
-//! detlint [--root DIR] [--config FILE] [--json] [--list-rules]
+//! detlint [--root DIR] [--config FILE] [--json] [--list-rules] [--update-schema-lock]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings reported, 2 usage/config/I-O error. CI
@@ -17,11 +17,13 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
     let mut json = false;
+    let mut update_schema_lock = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--update-schema-lock" => update_schema_lock = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage_error("--root requires a directory"),
@@ -38,8 +40,12 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "detlint — workspace determinism & hygiene lints (D1-D6)\n\n\
-                     USAGE: detlint [--root DIR] [--config FILE] [--json] [--list-rules]"
+                    "detlint — workspace determinism & hygiene lints (D1-D9)\n\n\
+                     USAGE: detlint [--root DIR] [--config FILE] [--json] [--list-rules]\n\
+                     \x20              [--update-schema-lock]\n\n\
+                     --update-schema-lock regenerates SNAPSHOT_SCHEMA.lock (rule D8); it\n\
+                     refuses to absorb a codec fingerprint change unless some *VERSION*\n\
+                     constant was bumped too."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -62,6 +68,43 @@ fn main() -> ExitCode {
     } else {
         detlint::Config::default()
     };
+
+    if update_schema_lock {
+        let schema = match detlint::collect_schema(&root, &config) {
+            Ok(schema) => schema,
+            Err(e) => return usage_error(&format!("schema collection failed: {e}")),
+        };
+        let lock_path = root.join(detlint::SCHEMA_LOCK_FILE);
+        let old = if lock_path.is_file() {
+            match std::fs::read_to_string(&lock_path) {
+                Ok(text) => match detlint::SchemaLock::parse(&text) {
+                    Ok(lock) => Some(lock),
+                    Err(e) => return usage_error(&e),
+                },
+                Err(e) => return usage_error(&format!("{}: {e}", lock_path.display())),
+            }
+        } else {
+            None
+        };
+        return match detlint::plan_schema_update(&schema, old.as_ref()) {
+            Ok(text) => match std::fs::write(&lock_path, &text) {
+                Ok(()) => {
+                    println!(
+                        "detlint: wrote {} ({} codec pair(s), {} version constant(s))",
+                        lock_path.display(),
+                        schema.fingerprints.len(),
+                        schema.version_consts.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => usage_error(&format!("{}: {e}", lock_path.display())),
+            },
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
 
     match detlint::scan_workspace(&root, &config) {
         Ok(report) => {

@@ -142,6 +142,166 @@ fn json_output_is_exact_and_machine_readable() {
     assert_eq!(render_json(&report), expected);
 }
 
+#[test]
+fn d7_codec_symmetry_bad_fixture_reports_every_drift() {
+    let (findings, _) = lint_fixture("d7_bad.rs", "runtime", FileKind::Source);
+    assert!(
+        findings.iter().all(|f| f.rule == Rule::CodecSymmetry),
+        "{findings:?}"
+    );
+    let spots: Vec<(usize, usize, &str)> = findings
+        .iter()
+        .map(|f| (f.line, f.column, f.message.as_str()))
+        .collect();
+    assert_eq!(
+        spots,
+        [
+            (
+                30,
+                8,
+                "`Counter` codec drift: `encode` writes 2 field(s) but `decode` reads 1"
+            ),
+            (
+                75,
+                8,
+                "`Orphan::encode` has no matching `Orphan::decode` in this file \
+                 (codec pairs must live together)"
+            ),
+            (
+                53,
+                17,
+                "`Tagged` codec drift: field `id` is written by `encode` \
+                 but never read by `decode`"
+            ),
+            (
+                11,
+                9,
+                "`Wire` codec field order mismatch at position 1: \
+                 `encode` writes `alpha` where `decode` reads `beta`"
+            ),
+            (
+                12,
+                9,
+                "`Wire` codec field order mismatch at position 2: \
+                 `encode` writes `beta` where `decode` reads `alpha`"
+            ),
+        ]
+    );
+}
+
+#[test]
+fn d7_good_fixture_covers_every_shipped_codec_idiom_cleanly() {
+    let (findings, _) = lint_fixture("d7_good.rs", "runtime", FileKind::Source);
+    assert_eq!(findings, []);
+}
+
+#[test]
+fn d7_and_d9_are_silent_outside_codec_scope() {
+    // `truth` holds no codecs by design, so the shipped scope excludes it.
+    let (d7, _) = lint_fixture("d7_bad.rs", "truth", FileKind::Source);
+    assert_eq!(d7, []);
+    let (d9, _) = lint_fixture("d9_bad.rs", "truth", FileKind::Source);
+    assert_eq!(d9, []);
+}
+
+#[test]
+fn d9_lossy_cast_bad_fixture_flags_both_sides() {
+    let (findings, _) = lint_fixture("d9_bad.rs", "runtime", FileKind::Source);
+    assert!(
+        findings.iter().all(|f| f.rule == Rule::LossyCast),
+        "{findings:?}"
+    );
+    let spots: Vec<(usize, usize)> = findings.iter().map(|f| (f.line, f.column)).collect();
+    assert_eq!(spots, [(10, 21), (17, 36)]);
+}
+
+#[test]
+fn d9_good_fixture_is_clean_and_counts_the_justified_allow() {
+    let (findings, suppressed) = lint_fixture("d9_good.rs", "runtime", FileKind::Source);
+    assert_eq!(findings, []);
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn d9_text_diagnostic_is_rustc_style() {
+    let (findings, suppressed) = lint_fixture("d9_bad.rs", "runtime", FileKind::Source);
+    let report = Report {
+        findings: findings.into_iter().take(1).collect(),
+        files_scanned: 1,
+        suppressed,
+    };
+    let expected = "\
+error[D9/lossy-cast]: numeric `as` cast in codec fn `Gauge::encode` can silently truncate the wire value
+  --> d9_bad.rs:10:21
+   |
+10 |         (self.level as u8).encode(out);
+   |                     ^^^^^
+   = help: use try_from with a typed error (or a stated-invariant expect), or annotate `// detlint: allow(lossy-cast): <reason>`
+
+detlint: 1 finding(s), 0 suppressed by justified allows, 1 file(s) scanned
+";
+    assert_eq!(render_text(&report), expected);
+}
+
+#[test]
+fn d7_json_output_is_exact_and_machine_readable() {
+    let (findings, suppressed) = lint_fixture("d7_bad.rs", "runtime", FileKind::Source);
+    let report = Report {
+        findings: findings.into_iter().take(1).collect(),
+        files_scanned: 1,
+        suppressed,
+    };
+    let expected = concat!(
+        "{\"findings\":[{\"code\":\"D7\",\"rule\":\"codec-symmetry\",",
+        "\"path\":\"d7_bad.rs\",\"line\":30,\"column\":8,",
+        "\"message\":\"`Counter` codec drift: `encode` writes 2 field(s) but `decode` reads 1\",",
+        "\"help\":\"make the encode/decode field sequences symmetric, or annotate ",
+        "`// detlint: allow(codec-symmetry): <reason>`\"}],",
+        "\"files_scanned\":1,\"suppressed\":0}"
+    );
+    assert_eq!(render_json(&report), expected);
+}
+
+/// The D8 CI contract: a workspace whose codecs drifted from the committed
+/// SNAPSHOT_SCHEMA.lock (fingerprint change, stale version constant, and a
+/// deleted codec still listed) gates with a non-zero exit.
+#[test]
+fn stale_schema_lock_gates_with_nonzero_exit() {
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws_schema");
+    let report = scan_workspace(&ws, &Config::default()).expect("fixture workspace scans");
+    assert!(
+        report.findings.iter().all(|f| f.rule == Rule::SchemaLock),
+        "{:?}",
+        report.findings
+    );
+    let spots: Vec<(&str, usize, usize)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.as_str(), f.line, f.column))
+        .collect();
+    assert_eq!(
+        spots,
+        [
+            ("SNAPSHOT_SCHEMA.lock", 1, 1),
+            ("crates/core/src/lib.rs", 6, 11),
+            ("crates/core/src/lib.rs", 14, 8),
+        ]
+    );
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("codec `Gone`") && messages[0].contains("no longer in the tree"));
+    assert!(messages[1].contains("version constant `core/WS_FORMAT_VERSION` = 2"));
+    assert!(messages[2].contains(
+        "codec `Blob` schema fingerprint drifted from SNAPSHOT_SCHEMA.lock \
+         (0xdeadbeefdeadbeef -> 0x29052cf9e9c5ab2c)"
+    ));
+    assert_eq!(report.exit_code(), 1);
+
+    // Disabling D8 stands the gate down (the fixture is D1-D7/D9-clean).
+    let relaxed = Config::parse("[rules]\nschema-lock = false\n").expect("valid config");
+    let report = scan_workspace(&ws, &relaxed).expect("fixture workspace scans");
+    assert_eq!(report.exit_code(), 0);
+}
+
 /// The CI contract: a workspace seeded with a violation makes the scan exit
 /// non-zero (`ci.sh` gates on this), and rule toggles in the config can
 /// stand the gate down.

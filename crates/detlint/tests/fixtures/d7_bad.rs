@@ -1,0 +1,78 @@
+// Seeded D7 violations: a swapped field order, a count mismatch, a field
+// written by a tag-dispatched encode but never read back, and an encode fn
+// with no decode partner.
+pub struct Wire {
+    alpha: u64,
+    beta: u64,
+}
+
+impl Encode for Wire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.alpha.encode(out);
+        self.beta.encode(out);
+    }
+}
+
+impl Decode for Wire {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let beta = u64::decode(r)?;
+        let alpha = u64::decode(r)?;
+        Ok(Self { alpha, beta })
+    }
+}
+
+pub struct Counter {
+    count: u64,
+    peak: u64,
+}
+
+impl Encode for Counter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.count.encode(out);
+        self.peak.encode(out);
+    }
+}
+
+impl Decode for Counter {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let count = u64::decode(r)?;
+        Ok(Self { count, peak: 0 })
+    }
+}
+
+pub enum Tagged {
+    Full { id: u64 },
+    Empty,
+}
+
+impl Encode for Tagged {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Tagged::Full { id } => {
+                0u8.encode(out);
+                id.encode(out);
+            }
+            Tagged::Empty => 1u8.encode(out),
+        }
+    }
+}
+
+impl Decode for Tagged {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Tagged::Full { id: 0 }),
+            1 => Ok(Tagged::Empty),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+}
+
+pub struct Orphan {
+    x: u64,
+}
+
+impl Encode for Orphan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.x.encode(out);
+    }
+}

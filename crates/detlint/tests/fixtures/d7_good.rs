@@ -1,0 +1,79 @@
+// Symmetric codecs in every idiom the workspace uses: straight-line
+// struct-literal decode, let-bound decode with a constructor wrapper, a
+// length-prefixed element loop, and a tag-dispatched enum. D7-clean.
+pub struct Wire {
+    alpha: u64,
+    beta: u64,
+}
+
+impl Encode for Wire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.alpha.encode(out);
+        self.beta.encode(out);
+    }
+}
+
+impl Decode for Wire {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Self {
+            alpha: u64::decode(r)?,
+            beta: u64::decode(r)?,
+        })
+    }
+}
+
+pub struct Board {
+    items: Vec<u64>,
+    peak: u64,
+}
+
+impl Encode for Board {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.items.len().encode(out);
+        for item in &self.items {
+            item.encode(out);
+        }
+        self.peak.encode(out);
+    }
+}
+
+impl Decode for Board {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = usize::decode(r)?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            items.push(u64::decode(r)?);
+        }
+        let peak = u64::decode(r)?;
+        Ok(Self { items, peak })
+    }
+}
+
+pub enum Tagged {
+    Full { id: u64 },
+    Empty,
+}
+
+impl Encode for Tagged {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Tagged::Full { id } => {
+                0u8.encode(out);
+                id.encode(out);
+            }
+            Tagged::Empty => 1u8.encode(out),
+        }
+    }
+}
+
+impl Decode for Tagged {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Tagged::Full {
+                id: u64::decode(r)?,
+            }),
+            1 => Ok(Tagged::Empty),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+}

@@ -1,0 +1,21 @@
+// Seeded D9 violations: lossy `as` casts inside codec fns, on both the
+// encode and the decode side.
+pub struct Gauge {
+    level: usize,
+    scale: f64,
+}
+
+impl Encode for Gauge {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.level as u8).encode(out);
+        self.scale.encode(out);
+    }
+}
+
+impl Decode for Gauge {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let level = u8::decode(r)? as usize;
+        let scale = f64::decode(r)?;
+        Ok(Self { level, scale })
+    }
+}

@@ -1,0 +1,23 @@
+// The same codec with checked conversions (and one justified allow): D9-clean.
+pub struct Gauge {
+    level: usize,
+    scale: f64,
+}
+
+impl Encode for Gauge {
+    fn encode(&self, out: &mut Vec<u8>) {
+        u8::try_from(self.level)
+            .expect("invariant: level is bounded by the 7-entry action set")
+            .encode(out);
+        // detlint: allow(lossy-cast): u16 widens losslessly into the u32 wire slot
+        ((self.scale.to_bits() >> 48) as u32).encode(out);
+    }
+}
+
+impl Decode for Gauge {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let level = usize::from(u8::decode(r)?);
+        let scale = f64::decode(r)?;
+        Ok(Self { level, scale })
+    }
+}

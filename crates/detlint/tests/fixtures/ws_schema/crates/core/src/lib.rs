@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+// A D1–D7/D9-clean codec whose schema drifted from the committed lockfile:
+// the fingerprint recorded in ../../SNAPSHOT_SCHEMA.lock belongs to an older
+// field sequence, and the version constant was bumped without regenerating.
+
+pub const WS_FORMAT_VERSION: u32 = 2;
+
+pub struct Blob {
+    len: u64,
+    tail: u64,
+}
+
+impl Encode for Blob {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len.encode(out);
+        self.tail.encode(out);
+    }
+}
+
+impl Decode for Blob {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u64::decode(r)?;
+        let tail = u64::decode(r)?;
+        Ok(Self { len, tail })
+    }
+}

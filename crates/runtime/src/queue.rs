@@ -123,9 +123,13 @@ impl Decode for EventQueue {
         let scheduled = u64::decode(r)?;
         let popped = u64::decode(r)?;
         let last_popped_secs = f64::decode(r)?;
+        // Checked arithmetic: on a corrupt frame `popped` can sit near
+        // u64::MAX, and `popped + len` must surface as `Invalid`, not as a
+        // debug-build overflow panic.
+        let len = u64::try_from(events.len()).map_err(|_| DecodeError::Invalid)?;
         if last_popped_secs.is_nan()
             || last_popped_secs < 0.0
-            || scheduled != popped + events.len() as u64
+            || popped.checked_add(len) != Some(scheduled)
             || scheduled > next_seq
         {
             return Err(DecodeError::Invalid);
@@ -221,6 +225,25 @@ mod tests {
         bytes.truncate(events_and_next_seq);
         2u64.encode(&mut bytes); // scheduled
         0u64.encode(&mut bytes); // popped
+        0.0f64.encode(&mut bytes); // last_popped_secs
+        assert!(matches!(
+            EventQueue::from_bytes(&bytes),
+            Err(DecodeError::Invalid)
+        ));
+    }
+
+    #[test]
+    fn codec_rejects_counter_overflow_without_panicking() {
+        // A corrupt frame whose `popped` sits at u64::MAX must fail the
+        // conservation check as `Invalid`; the former `popped + len`
+        // arithmetic overflowed (a panic in debug builds) before reaching it.
+        let mut q = EventQueue::new();
+        q.schedule(1.0, EventKind::CycleArrival { cycle: 0 });
+        let mut bytes = q.to_bytes();
+        let events_and_next_seq = bytes.len() - 24;
+        bytes.truncate(events_and_next_seq);
+        u64::MAX.encode(&mut bytes); // scheduled
+        u64::MAX.encode(&mut bytes); // popped (+ 1 live event would overflow)
         0.0f64.encode(&mut bytes); // last_popped_secs
         assert!(matches!(
             EventQueue::from_bytes(&bytes),

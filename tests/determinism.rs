@@ -10,7 +10,7 @@ use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
 use crowdlearn_runtime::{
     FleetConfig, FleetOrchestrator, FleetSnapshot, FleetSnapshotError, MetricsTap, ParallelSweep,
     PipelinedSystem, RunBound, RuntimeConfig, RuntimeReport, RuntimeSnapshot, ShardSpec,
-    SnapshotError, SweepCheckpoints,
+    SnapshotError, SweepCheckpoints, FLEET_SNAPSHOT_FORMAT_VERSION, SNAPSHOT_FORMAT_VERSION,
 };
 
 fn dataset(seed: u64) -> Dataset {
@@ -445,5 +445,39 @@ fn snapshot_rejects_tampering_and_mismatched_streams() {
             expected: 8,
             found: 5
         })
+    ));
+}
+
+/// Forward compatibility: a frame stamped with a *future* format version —
+/// one written by a newer build whose payload layout this build cannot know —
+/// must come back as a typed `VersionMismatch` carrying the found version,
+/// never a panic or a silent misparse of the unknown payload.
+#[test]
+fn snapshots_reject_future_format_versions_with_typed_errors() {
+    let dataset = dataset(7);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+    let mut system = fresh_system(&dataset);
+    assert!(system
+        .run_until(&dataset, &stream, RunBound::Events(40))
+        .is_none());
+    let mut bytes = system.snapshot().expect("checkpointable").to_bytes();
+    // The u32 version field sits right after the 8-byte magic.
+    let future = SNAPSHOT_FORMAT_VERSION + 1;
+    bytes[8..12].copy_from_slice(&future.to_le_bytes());
+    assert_eq!(
+        RuntimeSnapshot::from_bytes(&bytes),
+        Err(SnapshotError::VersionMismatch { found: future })
+    );
+
+    let (datasets, streams, mut fleet) = fleet_fixture(&[7, 8]);
+    assert!(fleet
+        .run_until(&datasets, &streams, RunBound::Events(60))
+        .is_none());
+    let mut bytes = fleet.snapshot().expect("checkpointable").to_bytes();
+    let future = FLEET_SNAPSHOT_FORMAT_VERSION + 1;
+    bytes[8..12].copy_from_slice(&future.to_le_bytes());
+    assert!(matches!(
+        FleetSnapshot::from_bytes(&bytes),
+        Err(FleetSnapshotError::VersionMismatch { found }) if found == future
     ));
 }
