@@ -45,4 +45,7 @@ cargo run -q --release --offline -p crowdlearn-bench --bin makespan
 echo "==> fleet contention bench (emits BENCH_fleet.json)"
 cargo run -q --release --offline -p crowdlearn-bench --bin fleet
 
+echo "==> committee inference bench (emits BENCH_inference.json)"
+cargo run -q --release --offline -p crowdlearn-bench --bin inference
+
 echo "CI green."

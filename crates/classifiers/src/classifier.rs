@@ -22,6 +22,30 @@ pub trait Classifier: Send {
     /// probability distribution over the damage classes.
     fn predict(&self, image: &SyntheticImage) -> ClassDistribution;
 
+    /// Produces one vote per image of a batch.
+    ///
+    /// Contract: the result must be **bit-identical** to mapping
+    /// [`Classifier::predict`] over `images` in order — batching is a
+    /// performance hint, never a semantic one (DESIGN.md "Batched committee
+    /// inference"). The default per-image loop satisfies this trivially, so
+    /// external implementations keep working; implementations with a cheaper
+    /// whole-batch formulation (e.g. [`SimulatedExpert`] over an
+    /// [`EvidenceMatrix`]) override it.
+    ///
+    /// [`SimulatedExpert`]: crate::SimulatedExpert
+    /// [`EvidenceMatrix`]: crowdlearn_dataset::EvidenceMatrix
+    fn predict_batch(&self, images: &[SyntheticImage]) -> Vec<ClassDistribution> {
+        images.iter().map(|image| self.predict(image)).collect()
+    }
+
+    /// [`Classifier::predict_batch`] over a batch of image *references* —
+    /// sensing cycles hand out scattered references into the dataset, so the
+    /// runtime cannot form a contiguous `&[SyntheticImage]` without cloning.
+    /// Same bit-identity contract as `predict_batch`.
+    fn predict_batch_refs(&self, images: &[&SyntheticImage]) -> Vec<ClassDistribution> {
+        images.iter().map(|image| self.predict(image)).collect()
+    }
+
     /// Fine-tunes the model on additional labeled samples. Labels may come
     /// from ground truth (initial training) or from the crowd (MIC's model
     /// retraining strategy). Implementations decide how much each sample
@@ -86,5 +110,28 @@ mod tests {
         let mut c = ConstantClassifier(0);
         c.retrain(&[]);
         assert_eq!(c.training_samples(), 0);
+    }
+
+    #[test]
+    fn default_batch_methods_map_predict() {
+        use crowdlearn_dataset::{visual_layout, ImageAttribute, ImageId};
+        let images: Vec<SyntheticImage> = (0..4)
+            .map(|i| {
+                SyntheticImage::from_latents(
+                    ImageId(i),
+                    DamageLabel::NoDamage,
+                    ImageAttribute::Plain,
+                    DamageLabel::NoDamage,
+                    false,
+                    vec![0.0; visual_layout::VISUAL_DIM],
+                    vec![0.0; SyntheticImage::CONTEXTUAL_DIM],
+                )
+            })
+            .collect();
+        let c: Box<dyn Classifier> = Box::new(ConstantClassifier(0));
+        let expected: Vec<ClassDistribution> = images.iter().map(|i| c.predict(i)).collect();
+        assert_eq!(c.predict_batch(&images), expected);
+        let refs: Vec<&SyntheticImage> = images.iter().collect();
+        assert_eq!(c.predict_batch_refs(&refs), expected);
     }
 }

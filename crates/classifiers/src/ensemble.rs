@@ -2,7 +2,7 @@
 //! with confidence-rated weights in the spirit of Schapire & Singer (1999).
 
 use crate::{ClassDistribution, Classifier, SimulatedExpert};
-use crowdlearn_dataset::{LabeledImage, SyntheticImage};
+use crowdlearn_dataset::{EvidenceMatrix, LabeledImage, SyntheticImage};
 
 /// Seconds of aggregation overhead added on top of the slowest member, tuned
 /// so the Ensemble's per-cycle delay matches Table III's 85.82 s. (The paper
@@ -104,6 +104,29 @@ impl BoostedEnsemble {
             self.alphas.fill(1.0);
         }
     }
+
+    /// Batch prediction over a pre-gathered evidence matrix: every member
+    /// predicts the whole batch off the shared matrix, then each image's
+    /// member votes are mixed under the alphas in member order — the same
+    /// mixture-accumulation order as the scalar `predict`, so the result is
+    /// bit-identical to mapping it.
+    fn predict_evidence(&self, evidence: &EvidenceMatrix) -> Vec<ClassDistribution> {
+        let member_votes: Vec<Vec<ClassDistribution>> = self
+            .members
+            .iter()
+            .map(|m| m.predict_evidence(evidence))
+            .collect();
+        (0..evidence.len())
+            .map(|i| {
+                ClassDistribution::weighted_mixture(
+                    self.alphas
+                        .iter()
+                        .copied()
+                        .zip(member_votes.iter().map(|votes| &votes[i])),
+                )
+            })
+            .collect()
+    }
 }
 
 impl Classifier for BoostedEnsemble {
@@ -114,6 +137,14 @@ impl Classifier for BoostedEnsemble {
     fn predict(&self, image: &SyntheticImage) -> ClassDistribution {
         let votes: Vec<ClassDistribution> = self.members.iter().map(|m| m.predict(image)).collect();
         ClassDistribution::weighted_mixture(self.alphas.iter().copied().zip(votes.iter()))
+    }
+
+    fn predict_batch(&self, images: &[SyntheticImage]) -> Vec<ClassDistribution> {
+        self.predict_evidence(&EvidenceMatrix::from_images(images))
+    }
+
+    fn predict_batch_refs(&self, images: &[&SyntheticImage]) -> Vec<ClassDistribution> {
+        self.predict_evidence(&EvidenceMatrix::from_refs(images.iter().copied()))
     }
 
     /// Retrains every member on the samples and refits the boosting weights

@@ -26,15 +26,13 @@ pub fn run_ai_only(
         let images = cycle.images(dataset);
         let outcomes: Vec<ImageOutcome> = images
             .iter()
-            .map(|img| {
-                let distribution = classifier.predict(img);
-                ImageOutcome {
-                    image: img.id(),
-                    truth: img.truth(),
-                    predicted: distribution.argmax(),
-                    distribution,
-                    queried: false,
-                }
+            .zip(classifier.predict_batch_refs(&images))
+            .map(|(img, distribution)| ImageOutcome {
+                image: img.id(),
+                truth: img.truth(),
+                predicted: distribution.argmax(),
+                distribution,
+                queried: false,
             })
             .collect();
         let outcome = CycleOutcome {
@@ -170,11 +168,9 @@ impl HybridAl {
             let images = cycle.images(dataset);
             let spent_before = self.platform.spent_cents();
 
-            // Predict and rank by uncertainty.
-            let distributions: Vec<ClassDistribution> = images
-                .iter()
-                .map(|img| self.classifier.predict(img))
-                .collect();
+            // Predict (batched — bit-identical to per-image) and rank by
+            // uncertainty.
+            let distributions = self.classifier.predict_batch_refs(&images);
             let mut by_entropy: Vec<usize> = (0..images.len()).collect();
             by_entropy.sort_by(|&a, &b| {
                 distributions[b]
@@ -295,10 +291,7 @@ impl HybridPara {
             let images = cycle.images(dataset);
             let spent_before = self.platform.spent_cents();
 
-            let distributions: Vec<ClassDistribution> = images
-                .iter()
-                .map(|img| self.classifier.predict(img))
-                .collect();
+            let distributions = self.classifier.predict_batch_refs(&images);
 
             // Humans label an independent random sample.
             let mut sample: Vec<usize> = (0..images.len()).collect();

@@ -74,6 +74,27 @@ impl Decode for CalibratorConfig {
     }
 }
 
+/// One crowd-answered query, carrying the member votes that were *cached
+/// when the cycle started*.
+///
+/// MIC must score the committee on the votes that actually produced the
+/// cycle's labels. Re-predicting at calibration time looks equivalent under
+/// a blocking loop, but with `inflight_window > 1` an overlapping cycle's
+/// retrain can land in between — the re-predicted votes would then belong to
+/// a *newer* model version than the labels being judged, and Hedge would be
+/// updated on losses the cycle never incurred (besides paying O(members ×
+/// queries) redundant predicts). Threading the cached votes through makes
+/// vote staleness impossible by construction.
+#[derive(Debug, Clone)]
+pub struct QueriedImage<'a> {
+    /// The queried image (retraining clones it into a labeled sample).
+    pub image: &'a SyntheticImage,
+    /// The member votes cached at `start_cycle`, in committee member order.
+    pub member_votes: &'a [ClassDistribution],
+    /// The CQC truthful distribution the crowd produced for this image.
+    pub truthful: ClassDistribution,
+}
+
 /// The MIC module. Stateless apart from its configuration; all state lives
 /// in the [`Committee`] it calibrates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -93,23 +114,24 @@ impl Calibrator {
     }
 
     /// Per-expert losses from Eq. 5: the mean normalized symmetric KL
-    /// divergence between each expert's vote and the CQC truthful
+    /// divergence between each expert's *cached* vote and the CQC truthful
     /// distribution, over the cycle's query set.
     ///
     /// # Panics
     ///
-    /// Panics if `queried` is empty or the images/labels lengths mismatch.
-    pub fn expert_losses(
-        &self,
-        committee: &Committee,
-        queried: &[(&SyntheticImage, ClassDistribution)],
-    ) -> Vec<f64> {
+    /// Panics if `queried` is empty or any entry's vote count differs from
+    /// the committee size.
+    pub fn expert_losses(&self, committee: &Committee, queried: &[QueriedImage<'_>]) -> Vec<f64> {
         assert!(!queried.is_empty(), "need at least one queried image");
         let mut losses = vec![0.0; committee.len()];
-        for (image, truthful) in queried {
-            let votes = committee.votes(image);
-            for (loss, vote) in losses.iter_mut().zip(&votes) {
-                *loss += normalized_symmetric_kl(vote.symmetric_kl(truthful));
+        for q in queried {
+            assert_eq!(
+                q.member_votes.len(),
+                committee.len(),
+                "one cached vote per committee member"
+            );
+            for (loss, vote) in losses.iter_mut().zip(q.member_votes) {
+                *loss += normalized_symmetric_kl(vote.symmetric_kl(&q.truthful));
             }
         }
         for loss in &mut losses {
@@ -125,10 +147,14 @@ impl Calibrator {
     ///
     /// Returns `(offload_labels)`: for each queried image, `Some(truthful
     /// distribution)` when offloading is enabled, `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry's vote count differs from the committee size.
     pub fn calibrate(
         &self,
         committee: &mut Committee,
-        queried: &[(&SyntheticImage, ClassDistribution)],
+        queried: &[QueriedImage<'_>],
     ) -> Vec<Option<ClassDistribution>> {
         if queried.is_empty() {
             return Vec::new();
@@ -142,14 +168,14 @@ impl Calibrator {
         if self.config.retrain {
             let samples: Vec<LabeledImage> = queried
                 .iter()
-                .map(|(image, truthful)| LabeledImage::new((*image).clone(), truthful.argmax()))
+                .map(|q| LabeledImage::new(q.image.clone(), q.truthful.argmax()))
                 .collect();
             committee.retrain(&samples);
         }
 
         queried
             .iter()
-            .map(|(_, truthful)| self.config.offload.then(|| truthful.clone()))
+            .map(|q| self.config.offload.then(|| q.truthful.clone()))
             .collect()
     }
 }
@@ -187,6 +213,24 @@ mod tests {
         assert!(a < b, "normalization must be monotone");
     }
 
+    /// Pairs each image with its cached committee votes and a ground-truth
+    /// delta as the "truthful" distribution — the shape `finalize_cycle`
+    /// hands to the calibrator.
+    fn queried<'a>(
+        images: &[&'a crowdlearn_dataset::SyntheticImage],
+        votes: &'a [Vec<ClassDistribution>],
+    ) -> Vec<QueriedImage<'a>> {
+        images
+            .iter()
+            .zip(votes)
+            .map(|(img, member_votes)| QueriedImage {
+                image: img,
+                member_votes,
+                truthful: ClassDistribution::delta(img.truth()),
+            })
+            .collect()
+    }
+
     #[test]
     fn accurate_experts_receive_lower_losses() {
         let ds = Dataset::generate(&DatasetConfig::paper());
@@ -194,13 +238,9 @@ mod tests {
         let calibrator = Calibrator::new(CalibratorConfig::paper());
         // Use ground truth as the "truthful" distribution over many plain
         // images: DDM (most accurate) must incur a smaller loss than BoVW.
-        let queried: Vec<(&crowdlearn_dataset::SyntheticImage, ClassDistribution)> = ds
-            .test()
-            .iter()
-            .take(60)
-            .map(|img| (img, ClassDistribution::delta(img.truth())))
-            .collect();
-        let losses = calibrator.expert_losses(&committee, &queried);
+        let images: Vec<_> = ds.test().iter().take(60).collect();
+        let votes = committee.votes_batch(&images);
+        let losses = calibrator.expert_losses(&committee, &queried(&images, &votes));
         // Member order: VGG16, BoVW, DDM.
         assert!(
             losses[2] < losses[1],
@@ -216,11 +256,12 @@ mod tests {
         let mut committee = committee(&ds);
         let calibrator = Calibrator::new(CalibratorConfig::paper());
         for chunk in ds.test().chunks(20).take(5) {
-            let queried: Vec<_> = chunk
-                .iter()
-                .map(|img| (img, ClassDistribution::delta(img.truth())))
-                .collect();
-            calibrator.calibrate(&mut committee, &queried);
+            let images: Vec<_> = chunk.iter().collect();
+            // Votes are cached before each calibration round, as in a
+            // sensing cycle: `calibrate` retrains the committee, so the next
+            // round re-caches from the updated members.
+            let votes = committee.votes_batch(&images);
+            calibrator.calibrate(&mut committee, &queried(&images, &votes));
         }
         let w = committee.weights();
         assert!(
@@ -237,8 +278,13 @@ mod tests {
         let mut committee = committee(&ds);
         let calibrator = Calibrator::new(CalibratorConfig::paper());
         let truthful = ClassDistribution::delta(DamageLabel::Severe);
-        let queried = vec![(&ds.test()[0], truthful.clone())];
-        let overrides = calibrator.calibrate(&mut committee, &queried);
+        let votes = committee.votes(&ds.test()[0]);
+        let entries = vec![QueriedImage {
+            image: &ds.test()[0],
+            member_votes: &votes,
+            truthful: truthful.clone(),
+        }];
+        let overrides = calibrator.calibrate(&mut committee, &entries);
         assert_eq!(overrides.len(), 1);
         assert_eq!(overrides[0], Some(truthful));
     }
@@ -250,11 +296,13 @@ mod tests {
         let weights_before = committee.weights().to_vec();
         let vote_before = committee.committee_vote(&ds.test()[3]);
         let calibrator = Calibrator::new(CalibratorConfig::disabled());
-        let queried = vec![(
-            &ds.test()[0],
-            ClassDistribution::delta(DamageLabel::NoDamage),
-        )];
-        let overrides = calibrator.calibrate(&mut committee, &queried);
+        let votes = committee.votes(&ds.test()[0]);
+        let entries = vec![QueriedImage {
+            image: &ds.test()[0],
+            member_votes: &votes,
+            truthful: ClassDistribution::delta(DamageLabel::NoDamage),
+        }];
+        let overrides = calibrator.calibrate(&mut committee, &entries);
         assert_eq!(overrides, vec![None]);
         assert_eq!(committee.weights(), &weights_before[..]);
         assert_eq!(committee.committee_vote(&ds.test()[3]), vote_before);
@@ -267,5 +315,90 @@ mod tests {
         let calibrator = Calibrator::new(CalibratorConfig::paper());
         let overrides = calibrator.calibrate(&mut committee, &[]);
         assert!(overrides.is_empty());
+    }
+
+    #[test]
+    fn cached_vote_losses_match_fresh_predictions_without_an_interleaved_retrain() {
+        // Golden window-1 pin: under a blocking loop (or inflight window 1)
+        // nothing retrains between vote caching and calibration, so scoring
+        // the cached votes reproduces the old re-predicting implementation
+        // bit for bit.
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let committee = committee(&ds);
+        let calibrator = Calibrator::new(CalibratorConfig::paper());
+        let images: Vec<_> = ds.test().iter().take(30).collect();
+        let votes = committee.votes_batch(&images);
+        let entries = queried(&images, &votes);
+        let threaded = calibrator.expert_losses(&committee, &entries);
+        // The old implementation, inlined: re-predict every member per image.
+        let mut fresh = vec![0.0; committee.len()];
+        for entry in &entries {
+            for (loss, vote) in fresh.iter_mut().zip(&committee.votes(entry.image)) {
+                *loss += normalized_symmetric_kl(vote.symmetric_kl(&entry.truthful));
+            }
+        }
+        for loss in &mut fresh {
+            *loss /= entries.len() as f64;
+        }
+        for (t, f) in threaded.iter().zip(&fresh) {
+            assert_eq!(t.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn losses_are_scored_on_cached_votes_after_an_overlapping_retrain() {
+        // Window > 1 regression: an overlapping cycle's retrain lands
+        // between vote caching and calibration. Hedge losses must be scored
+        // on the votes that produced the cycle's labels (the cached ones) —
+        // the old implementation re-predicted with the *newer* model and
+        // judged the cycle on votes it never cast.
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let mut committee = committee(&ds);
+        let calibrator = Calibrator::new(CalibratorConfig::paper());
+        let images: Vec<_> = ds.test().iter().take(30).collect();
+        let votes = committee.votes_batch(&images);
+        let entries = queried(&images, &votes);
+        let expected = calibrator.expert_losses(&committee, &entries);
+
+        // The overlapping cycle's retrain: bumps every member's version, so
+        // fresh predictions no longer match the cached votes.
+        let samples: Vec<LabeledImage> = ds.test()[30..40]
+            .iter()
+            .cloned()
+            .map(LabeledImage::ground_truth)
+            .collect();
+        committee.retrain(&samples);
+
+        let after_retrain = calibrator.expert_losses(&committee, &entries);
+        for (a, e) in after_retrain.iter().zip(&expected) {
+            assert_eq!(
+                a.to_bits(),
+                e.to_bits(),
+                "losses must depend only on the cached votes"
+            );
+        }
+        // And the stale-vote hazard is real: re-predicting now would score
+        // different votes entirely.
+        let stale_votes = committee.votes_batch(&images);
+        let stale = calibrator.expert_losses(&committee, &queried(&images, &stale_votes));
+        assert_ne!(
+            stale, expected,
+            "retrain must shift the fresh predictions the old code would have scored"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one cached vote per committee member")]
+    fn vote_count_mismatch_is_rejected() {
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let committee = committee(&ds);
+        let calibrator = Calibrator::new(CalibratorConfig::paper());
+        let short = vec![ClassDistribution::delta(DamageLabel::NoDamage); committee.len() - 1];
+        let entries = vec![QueriedImage {
+            image: &ds.test()[0],
+            member_votes: &short,
+            truthful: ClassDistribution::delta(DamageLabel::NoDamage),
+        }];
+        calibrator.expert_losses(&committee, &entries);
     }
 }

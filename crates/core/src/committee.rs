@@ -3,7 +3,7 @@
 
 use crowdlearn_bandit::ExpWeights;
 use crowdlearn_classifiers::{ClassDistribution, Classifier, SimulatedExpert};
-use crowdlearn_dataset::{LabeledImage, SyntheticImage};
+use crowdlearn_dataset::{EvidenceMatrix, LabeledImage, SyntheticImage};
 
 /// A weighted committee of black-box classifiers.
 ///
@@ -82,6 +82,52 @@ impl Committee {
     /// Every member's vote for one image.
     pub fn votes(&self, image: &SyntheticImage) -> Vec<ClassDistribution> {
         self.members.iter().map(|m| m.predict(image)).collect()
+    }
+
+    /// Every member's vote for every image of a batch, image-major: result
+    /// `[i]` is the member-ordered vote vector for `images[i]`, bit-identical
+    /// to `votes(images[i])`.
+    ///
+    /// This is the sensing-cycle hot path: the batch's visual evidence is
+    /// gathered once into an [`EvidenceMatrix`] and shared by every simulated
+    /// member, so the per-member cost drops to sequential sums plus its own
+    /// noise draws (see [`SimulatedExpert::predict_evidence`]). Members that
+    /// are not simulated experts fall back to the per-image loop, which
+    /// satisfies the same equivalence contract trivially.
+    pub fn votes_batch(&self, images: &[&SyntheticImage]) -> Vec<Vec<ClassDistribution>> {
+        let evidence = EvidenceMatrix::from_refs(images.iter().copied());
+        let member_votes: Vec<Vec<ClassDistribution>> = self
+            .members
+            .iter()
+            .map(|m| match m.as_simulated() {
+                Some(expert) => expert.predict_evidence(&evidence),
+                None => m.predict_batch_refs(images),
+            })
+            .collect();
+        // `vec![...; n]` clones, and a clone of an empty Vec drops its
+        // capacity — build each row explicitly so no push reallocates.
+        let mut votes: Vec<Vec<ClassDistribution>> = (0..images.len())
+            .map(|_| Vec::with_capacity(self.members.len()))
+            .collect();
+        for member in member_votes {
+            for (image_votes, vote) in votes.iter_mut().zip(member) {
+                image_votes.push(vote);
+            }
+        }
+        votes
+    }
+
+    /// Committee entropy (Eq. 3) for every image of a batch, bit-identical
+    /// to mapping [`Committee::entropy`].
+    pub fn entropies_batch(&self, images: &[&SyntheticImage]) -> Vec<f64> {
+        let weights = self.hedge.weights();
+        self.votes_batch(images)
+            .iter()
+            .map(|votes| {
+                ClassDistribution::weighted_mixture(weights.iter().copied().zip(votes.iter()))
+                    .entropy()
+            })
+            .collect()
     }
 
     /// The committee vote of Eq. 2: the weight-mixed, renormalized label
@@ -183,7 +229,7 @@ mod tests {
         // be more uncertain about them than about plain images on average.
         let mean_entropy = |pred: &dyn Fn(&crowdlearn_dataset::SyntheticImage) -> bool| {
             let imgs: Vec<_> = ds.test().iter().filter(|i| pred(i)).collect();
-            imgs.iter().map(|i| c.entropy(i)).sum::<f64>() / imgs.len() as f64
+            c.entropies_batch(&imgs).iter().sum::<f64>() / imgs.len() as f64
         };
         let lowres =
             mean_entropy(&|i| i.attribute() == crowdlearn_dataset::ImageAttribute::LowResolution);
@@ -203,7 +249,7 @@ mod tests {
         let c = committee(&ds);
         let mean_entropy = |pred: &dyn Fn(&crowdlearn_dataset::SyntheticImage) -> bool| {
             let imgs: Vec<_> = ds.test().iter().filter(|i| pred(i)).collect();
-            imgs.iter().map(|i| c.entropy(i)).sum::<f64>() / imgs.len() as f64
+            c.entropies_batch(&imgs).iter().sum::<f64>() / imgs.len() as f64
         };
         let fake = mean_entropy(&|i| i.attribute() == crowdlearn_dataset::ImageAttribute::Fake);
         let lowres =
@@ -246,5 +292,35 @@ mod tests {
     #[should_panic(expected = "at least one expert")]
     fn empty_committee_rejected() {
         Committee::new(vec![], 0.5);
+    }
+
+    #[test]
+    fn batch_votes_and_entropies_match_per_image_bits() {
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let mut c = committee(&ds);
+        // Skew the weights so entropies_batch exercises a non-uniform mix.
+        c.update_weights(&[0.8, 0.1, 0.4]);
+        let batch: Vec<_> = ds.test().iter().take(10).collect();
+        let votes = c.votes_batch(&batch);
+        let entropies = c.entropies_batch(&batch);
+        assert_eq!(votes.len(), batch.len());
+        for ((img, image_votes), entropy) in batch.iter().zip(&votes).zip(&entropies) {
+            let scalar = c.votes(img);
+            assert_eq!(image_votes.len(), scalar.len());
+            for (b, s) in image_votes.iter().zip(&scalar) {
+                for (pb, ps) in b.probs().iter().zip(s.probs()) {
+                    assert_eq!(pb.to_bits(), ps.to_bits());
+                }
+            }
+            assert_eq!(entropy.to_bits(), c.entropy(img).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_paths_handle_empty_batches() {
+        let ds = Dataset::generate(&DatasetConfig::paper());
+        let c = committee(&ds);
+        assert!(c.votes_batch(&[]).is_empty());
+        assert!(c.entropies_batch(&[]).is_empty());
     }
 }

@@ -55,7 +55,7 @@ mod report;
 mod system;
 mod trace;
 
-pub use calibration::{normalized_symmetric_kl, Calibrator, CalibratorConfig};
+pub use calibration::{normalized_symmetric_kl, Calibrator, CalibratorConfig, QueriedImage};
 pub use committee::Committee;
 pub use cqc::{QualityController, QueryFeatures};
 pub use ipd::{IncentivePolicy, PayoffNormalizer};

@@ -2,8 +2,8 @@
 
 use crate::report::{CycleOutcome, ImageOutcome};
 use crate::{
-    normalized_symmetric_kl, Calibrator, CalibratorConfig, Committee, IncentivePolicy,
-    PayoffNormalizer, QualityController, QuerySetSelector, SchemeReport,
+    Calibrator, CalibratorConfig, Committee, IncentivePolicy, PayoffNormalizer, QualityController,
+    QueriedImage, QuerySetSelector, SchemeReport,
 };
 use crowdlearn_bandit::{
     BanditConfig, CostedBandit, EpsilonGreedy, ExpWeights, FixedPolicy, PolicyState, RandomPolicy,
@@ -636,9 +636,10 @@ impl CrowdLearnSystem {
         // Expert votes are computed once per cycle and cached: final labels
         // mix these cached votes under the *updated* weights (the paper uses
         // updated weights for the current cycle's labels, but retrained
-        // models only from the next cycle on).
-        let member_votes: Vec<Vec<ClassDistribution>> =
-            images.iter().map(|img| self.committee.votes(img)).collect();
+        // models only from the next cycle on). The batch path gathers the
+        // cycle's visual evidence once and shares it across every member —
+        // bit-identical to per-image `votes` (see `Committee::votes_batch`).
+        let member_votes: Vec<Vec<ClassDistribution>> = self.committee.votes_batch(&images);
         let weights_now = self.committee.weights().to_vec();
         let entropies: Vec<f64> = member_votes
             .iter()
@@ -831,17 +832,21 @@ impl CrowdLearnSystem {
             ..
         } = work;
 
-        // ④ MIC: Hedge weight update from the Eq. 5 losses.
+        // ④ MIC: Hedge weight update from the Eq. 5 losses, scored on the
+        // votes cached at `start_cycle` — under an inflight window > 1 an
+        // overlapping cycle's retrain may already have landed, and the
+        // committee must be judged on the votes that produced this cycle's
+        // labels, not on re-predictions from a newer model.
         if self.calibrator.config().update_weights && !truthful.is_empty() {
-            let mut losses = vec![0.0; self.committee.len()];
-            for (idx, dist) in &truthful {
-                for (loss, vote) in losses.iter_mut().zip(&member_votes[*idx]) {
-                    *loss += normalized_symmetric_kl(vote.symmetric_kl(dist));
-                }
-            }
-            for loss in &mut losses {
-                *loss /= truthful.len() as f64;
-            }
+            let queried: Vec<QueriedImage<'_>> = truthful
+                .iter()
+                .map(|(idx, dist)| QueriedImage {
+                    image: images[*idx],
+                    member_votes: &member_votes[*idx],
+                    truthful: dist.clone(),
+                })
+                .collect();
+            let losses = self.calibrator.expert_losses(&self.committee, &queried);
             self.committee.update_weights(&losses);
         }
 
@@ -1068,6 +1073,28 @@ mod tests {
         let b = paper_run(CrowdLearnConfig::paper());
         assert_eq!(a.confusion, b.confusion);
         assert_eq!(a.spent_cents, b.spent_cents);
+    }
+
+    #[test]
+    fn start_cycle_caches_bit_exact_scalar_votes() {
+        // The cached `CycleWork::member_votes` now come from the batch path;
+        // they must carry the exact bits of the per-image `Committee::votes`
+        // (everything downstream — QSS ranking, Eq. 5 losses, final labels —
+        // reads these).
+        let dataset = Dataset::generate(&DatasetConfig::paper());
+        let stream = SensingCycleStream::paper(&dataset);
+        let mut system = CrowdLearnSystem::new(&dataset, CrowdLearnConfig::paper());
+        let cycle = stream.iter().next().expect("paper stream has cycles");
+        let work = system.start_cycle(cycle, &dataset);
+        for (img, cached) in cycle.images(&dataset).iter().zip(&work.member_votes) {
+            let scalar = system.committee.votes(img);
+            assert_eq!(cached.len(), scalar.len());
+            for (c, s) in cached.iter().zip(&scalar) {
+                for (pc, ps) in c.probs().iter().zip(s.probs()) {
+                    assert_eq!(pc.to_bits(), ps.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -39,11 +39,13 @@
 #![warn(missing_docs)]
 
 mod codec;
+mod evidence;
 mod generator;
 mod image;
 mod label;
 mod stream;
 
+pub use evidence::{EvidenceMatrix, FAMILY_ROW, MEANS_ROW};
 pub use generator::{gaussian, visual_layout, Dataset, DatasetConfig};
 pub use image::{ImageAttribute, ImageId, LabeledImage, SyntheticImage};
 pub use label::DamageLabel;

@@ -1,11 +1,13 @@
 //! Cross-crate property-based tests (proptest) over the public APIs.
 
-use crowdlearn::CrowdLearnConfig;
+use crowdlearn::{Committee, CrowdLearnConfig};
 use crowdlearn_bandit::{
     BanditConfig, CostedBandit, EpsilonGreedy, FixedPolicy, RandomPolicy, UcbAlp,
 };
-use crowdlearn_classifiers::ClassDistribution;
-use crowdlearn_dataset::{DamageLabel, Dataset, DatasetConfig, SensingCycleStream};
+use crowdlearn_classifiers::{profiles, BoostedEnsemble, ClassDistribution, Classifier};
+use crowdlearn_dataset::{
+    DamageLabel, Dataset, DatasetConfig, LabeledImage, SensingCycleStream, SyntheticImage,
+};
 use crowdlearn_metrics::{wilcoxon_signed_rank, ConfusionMatrix, RocCurve, SummaryStats};
 use crowdlearn_runtime::{MetricsTap, PipelinedSystem, RuntimeConfig};
 use crowdlearn_truth::{Aggregator, Annotation, DawidSkeneEm, MajorityVoting, WorkerId};
@@ -163,6 +165,102 @@ proptest! {
         ids.sort_unstable();
         ids.dedup();
         prop_assert_eq!(ids.len(), ds.len());
+    }
+}
+
+/// One dataset shared by the batch-equivalence properties below — dataset
+/// generation dominates the per-case cost and the properties only read it.
+fn shared_dataset() -> &'static Dataset {
+    static DS: std::sync::OnceLock<Dataset> = std::sync::OnceLock::new();
+    DS.get_or_init(|| Dataset::generate(&DatasetConfig::paper()))
+}
+
+fn assert_distributions_bit_identical(
+    batched: &[ClassDistribution],
+    scalar: &[ClassDistribution],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(batched.len(), scalar.len());
+    for (b, s) in batched.iter().zip(scalar) {
+        for (pb, ps) in b.probs().iter().zip(s.probs()) {
+            prop_assert_eq!(pb.to_bits(), ps.to_bits());
+        }
+    }
+    Ok(())
+}
+
+// The batch-inference contract (DESIGN.md "Batched committee inference"):
+// `predict_batch` / `predict_batch_refs` / `votes_batch` / `entropies_batch`
+// are performance paths, never semantic ones — every shipped classifier
+// profile, trained or untrained, must reproduce the scalar path bit for bit.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_scalar_for_every_profile(
+        seed in 0u64..500,
+        start in 0usize..400,
+        len in 1usize..48,
+        train in any::<bool>()
+    ) {
+        let ds = shared_dataset();
+        let test = ds.test();
+        let start = start % test.len();
+        let len = len.min(test.len() - start);
+        let batch = &test[start..start + len];
+        let refs: Vec<&SyntheticImage> = batch.iter().collect();
+        let classifiers: Vec<Box<dyn Classifier>> = vec![
+            Box::new(profiles::vgg16(seed)),
+            Box::new(profiles::bovw(seed)),
+            Box::new(profiles::ddm(seed)),
+            Box::new(BoostedEnsemble::new(profiles::paper_committee(seed))),
+        ];
+        for mut classifier in classifiers {
+            if train {
+                let samples: Vec<LabeledImage> = ds
+                    .train()
+                    .iter()
+                    .cloned()
+                    .map(LabeledImage::ground_truth)
+                    .collect();
+                classifier.retrain(&samples);
+            }
+            let scalar: Vec<ClassDistribution> =
+                batch.iter().map(|img| classifier.predict(img)).collect();
+            assert_distributions_bit_identical(&classifier.predict_batch(batch), &scalar)?;
+            assert_distributions_bit_identical(&classifier.predict_batch_refs(&refs), &scalar)?;
+        }
+    }
+
+    #[test]
+    fn committee_batch_votes_and_entropies_are_bit_identical_to_scalar(
+        seed in 0u64..500,
+        start in 0usize..400,
+        len in 1usize..32,
+        l0 in 0.0f64..1.0, l1 in 0.0f64..1.0, l2 in 0.0f64..1.0,
+        rounds in 0usize..3
+    ) {
+        let ds = shared_dataset();
+        let members: Vec<Box<dyn Classifier>> = profiles::paper_committee(seed)
+            .into_iter()
+            .map(|e| Box::new(e) as Box<dyn Classifier>)
+            .collect();
+        let mut committee = Committee::new(members, 0.6);
+        for _ in 0..rounds {
+            committee.update_weights(&[l0, l1, l2]);
+        }
+        let test = ds.test();
+        let start = start % test.len();
+        let len = len.min(test.len() - start);
+        let batch: Vec<&SyntheticImage> = test[start..start + len].iter().collect();
+
+        let votes = committee.votes_batch(&batch);
+        let entropies = committee.entropies_batch(&batch);
+        prop_assert_eq!(votes.len(), batch.len());
+        prop_assert_eq!(entropies.len(), batch.len());
+        for ((img, image_votes), entropy) in batch.iter().zip(&votes).zip(&entropies) {
+            assert_distributions_bit_identical(image_votes, &committee.votes(img))?;
+            prop_assert_eq!(entropy.to_bits(), committee.entropy(img).to_bits());
+        }
     }
 }
 
