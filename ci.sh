@@ -39,6 +39,9 @@ cargo run -q --release --offline --example metrics_tap
 echo "==> multi-stream fleet smoke"
 cargo run -q --release --offline --example multi_stream
 
+echo "==> adaptive window controller smoke"
+cargo run -q --release --offline --example adaptive_window
+
 echo "==> runtime makespan bench (emits BENCH_runtime.json)"
 cargo run -q --release --offline -p crowdlearn-bench --bin makespan
 
@@ -47,5 +50,8 @@ cargo run -q --release --offline -p crowdlearn-bench --bin fleet
 
 echo "==> committee inference bench (emits BENCH_inference.json)"
 cargo run -q --release --offline -p crowdlearn-bench --bin inference
+
+echo "==> adaptive window bench (emits BENCH_adaptive.json)"
+cargo run -q --release --offline -p crowdlearn-bench --bin adaptive
 
 echo "CI green."

@@ -425,13 +425,47 @@ impl CrowdLearnSystem {
     /// Panics if the configuration is invalid or the dataset's training
     /// split is empty.
     pub fn new(dataset: &Dataset, config: CrowdLearnConfig) -> Self {
+        let platform = PlatformConfig::paper().with_seed(config.platform_seed);
+        Self::with_platform_config(dataset, config, platform)
+    }
+
+    /// [`CrowdLearnSystem::new`] under an explicit crowd-platform
+    /// configuration — a custom delay surface (e.g. the adaptive-window
+    /// bench's stable/bursty profiles), pool size, or churn rate. `new`
+    /// delegates here with `PlatformConfig::paper().with_seed(config.platform_seed)`,
+    /// so the two are byte-identical on the paper platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid or the dataset's training
+    /// split is empty.
+    pub fn with_platform_config(
+        dataset: &Dataset,
+        config: CrowdLearnConfig,
+        platform: PlatformConfig,
+    ) -> Self {
+        Self::with_platform(dataset, config, Platform::new(platform))
+    }
+
+    /// [`CrowdLearnSystem::new`] over an already-booted [`Platform`] —
+    /// the hook for explicit worker pools ([`Platform::with_pool`]), e.g.
+    /// uniform-speed populations that make crowd delays exactly equal to
+    /// the delay-table means in boundary tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the dataset's training
+    /// split is empty.
+    pub fn with_platform(
+        dataset: &Dataset,
+        config: CrowdLearnConfig,
+        mut platform: Platform,
+    ) -> Self {
         config.validate();
         assert!(
             !dataset.train().is_empty(),
             "training split must be non-empty"
         );
-
-        let mut platform = Platform::new(PlatformConfig::paper().with_seed(config.platform_seed));
 
         // 1. Train the committee experts on ground-truth labels.
         let train: Vec<LabeledImage> = dataset

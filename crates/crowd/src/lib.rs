@@ -75,3 +75,7 @@ pub use platform::{
 pub use quality::QualityModel;
 pub use questionnaire::QuestionnaireAnswers;
 pub use worker::{Worker, WorkerPool};
+
+// Re-exported so downstream crates can build explicit workers
+// ([`Worker::from_traits`]) without depending on `crowdlearn-truth`.
+pub use crowdlearn_truth::WorkerId;

@@ -2,19 +2,204 @@
 
 use serde::binary::{Decode, DecodeError, Encode, Reader};
 
-/// Configuration of the event-driven runtime: the sensing cadence, how many
-/// cycles may be in flight, and the per-HIT timeout/repost policy.
+/// How the pipeline's in-flight cycle window is governed.
+///
+/// The window is the runtime's backpressure knob: cycles beyond it queue up
+/// and are admitted as earlier cycles retire. A static window is a fixed
+/// bet on crowd latency — too narrow starves throughput when the crowd is
+/// slow relative to the sensing cadence, too wide floods the HIT board (and
+/// the budget) when it is fast. The adaptive policy lets the runtime's
+/// window controller re-make that bet at every `CycleClosed` boundary from
+/// the metrics tap's rolling crowd-delay quantiles (see DESIGN.md
+/// "Adaptive window control").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowPolicy {
+    /// A fixed window of `n` cycles. `Static(1)` reproduces the fully
+    /// sequential (blocking) system; this is byte-identical to the
+    /// pre-controller runtime at every window size.
+    Static(usize),
+    /// Widen/narrow the *effective* window one step at a time within
+    /// `[min, max]`, driven by the attached metrics tap (one is attached
+    /// automatically at start when missing). At each `CycleClosed`
+    /// boundary the controller compares the tap's rolling crowd-delay
+    /// `percentile` against two thresholds expressed as multiples of the
+    /// cycle period — the gap between them plus the cooldown is the
+    /// hysteresis that keeps the controller from thrashing. The decision
+    /// is a pure function of streamed metrics: no wall clock, no RNG, so
+    /// same-seed runs stay byte-identical.
+    Adaptive {
+        /// Smallest effective window (also the starting window). At least 1.
+        min: usize,
+        /// Largest effective window. At least `min`.
+        max: usize,
+        /// Which rolling crowd-delay quantile the controller watches,
+        /// in `[0, 1]` (the paper's tail-latency lens is 0.9).
+        percentile: f64,
+        /// Narrow when the watched delay percentile drops below
+        /// `low_threshold × cycle_period_secs` (and the window is above
+        /// `min`): the crowd is beating the cadence, overlap is unneeded.
+        low_threshold: f64,
+        /// Widen when the watched delay percentile exceeds
+        /// `high_threshold × cycle_period_secs` *and* arrivals are queued
+        /// behind the window (and the window is below `max`): cycles
+        /// outlast the cadence and admission is the bottleneck. Must be
+        /// strictly above `low_threshold` — the band between the two is
+        /// the hysteresis dead zone.
+        high_threshold: f64,
+        /// `CycleClosed` boundaries to hold after a change before the
+        /// controller may move again.
+        cooldown_cycles: u32,
+    },
+}
+
+impl WindowPolicy {
+    /// An adaptive policy over `[min, max]` with the default controller
+    /// tuning: watch the 0.9 delay quantile, narrow below 0.25 cycle
+    /// periods, widen above 0.5, one-cycle cooldown.
+    pub fn adaptive(min: usize, max: usize) -> Self {
+        WindowPolicy::Adaptive {
+            min,
+            max,
+            percentile: 0.9,
+            low_threshold: 0.25,
+            high_threshold: 0.5,
+            cooldown_cycles: 1,
+        }
+    }
+
+    /// The window an execution opens with: the static size, or the
+    /// adaptive floor (the controller only widens on evidence).
+    pub fn initial_window(&self) -> usize {
+        match *self {
+            WindowPolicy::Static(n) => n,
+            WindowPolicy::Adaptive { min, .. } => min,
+        }
+    }
+
+    /// Whether this policy adapts at runtime.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, WindowPolicy::Adaptive { .. })
+    }
+
+    fn validate(&self) {
+        match *self {
+            WindowPolicy::Static(n) => {
+                assert!(n > 0, "window must admit at least one cycle");
+            }
+            WindowPolicy::Adaptive {
+                min,
+                max,
+                percentile,
+                low_threshold,
+                high_threshold,
+                ..
+            } => {
+                assert!(min > 0, "window must admit at least one cycle");
+                assert!(max >= min, "adaptive window range must satisfy min <= max");
+                assert!(
+                    (0.0..=1.0).contains(&percentile),
+                    "watched percentile must lie in [0, 1]"
+                );
+                assert!(
+                    low_threshold.is_finite() && low_threshold >= 0.0,
+                    "low threshold must be finite and non-negative"
+                );
+                assert!(
+                    high_threshold.is_finite() && high_threshold > low_threshold,
+                    "high threshold must be finite and above the low threshold"
+                );
+            }
+        }
+    }
+
+    fn is_valid(&self) -> bool {
+        match *self {
+            WindowPolicy::Static(n) => n > 0,
+            WindowPolicy::Adaptive {
+                min,
+                max,
+                percentile,
+                low_threshold,
+                high_threshold,
+                ..
+            } => {
+                min > 0
+                    && max >= min
+                    && (0.0..=1.0).contains(&percentile)
+                    && low_threshold.is_finite()
+                    && low_threshold >= 0.0
+                    && high_threshold.is_finite()
+                    && high_threshold > low_threshold
+            }
+        }
+    }
+}
+
+impl Encode for WindowPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            WindowPolicy::Static(n) => {
+                0u8.encode(out);
+                n.encode(out);
+            }
+            WindowPolicy::Adaptive {
+                min,
+                max,
+                percentile,
+                low_threshold,
+                high_threshold,
+                cooldown_cycles,
+            } => {
+                1u8.encode(out);
+                min.encode(out);
+                max.encode(out);
+                percentile.encode(out);
+                low_threshold.encode(out);
+                high_threshold.encode(out);
+                cooldown_cycles.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for WindowPolicy {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let policy = match u8::decode(r)? {
+            0 => WindowPolicy::Static(usize::decode(r)?),
+            1 => WindowPolicy::Adaptive {
+                min: usize::decode(r)?,
+                max: usize::decode(r)?,
+                percentile: f64::decode(r)?,
+                low_threshold: f64::decode(r)?,
+                high_threshold: f64::decode(r)?,
+                cooldown_cycles: u32::decode(r)?,
+            },
+            _ => return Err(DecodeError::Invalid),
+        };
+        if !policy.is_valid() {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(policy)
+    }
+}
+
+/// Configuration of the event-driven runtime: the sensing cadence, how the
+/// in-flight cycle window is governed, and the per-HIT timeout/repost
+/// policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
     /// Seconds between sensing-cycle arrivals (paper Definition 1: a cycle
     /// every 10 minutes).
     pub cycle_period_secs: f64,
-    /// Maximum sensing cycles concurrently in the pipeline (backpressure):
-    /// arrivals beyond the window queue up and are admitted as earlier
-    /// cycles retire. `1` reproduces the fully sequential system.
-    pub inflight_window: usize,
+    /// How the in-flight cycle window (backpressure) is governed:
+    /// arrivals beyond the effective window queue up and are admitted as
+    /// earlier cycles retire. `Static(1)` reproduces the fully sequential
+    /// system.
+    pub window_policy: WindowPolicy,
     /// Optional per-HIT timeout: a HIT whose workers have not all answered
     /// within this many seconds of posting expires and may be reposted.
+    /// An answer landing *exactly at* the timeout counts as expired
+    /// (censoring is `delay >= timeout`, matching the IPD contract).
     /// `None` waits out every answer (the paper's setting).
     pub hit_timeout_secs: Option<f64>,
     /// Maximum posting attempts per query, counting the original post.
@@ -28,12 +213,12 @@ pub struct RuntimeConfig {
 }
 
 impl RuntimeConfig {
-    /// The paper deployment's cadence: 600 s cycles, a four-cycle pipeline
-    /// window, no per-HIT timeout.
+    /// The paper deployment's cadence: 600 s cycles, a static four-cycle
+    /// pipeline window, no per-HIT timeout.
     pub fn paper() -> Self {
         Self {
             cycle_period_secs: 600.0,
-            inflight_window: 4,
+            window_policy: WindowPolicy::Static(4),
             hit_timeout_secs: None,
             max_post_attempts: 1,
             escalate_on_repost: true,
@@ -46,9 +231,16 @@ impl RuntimeConfig {
         Self::paper().with_inflight_window(1)
     }
 
-    /// Sets the in-flight cycle window.
+    /// Sets a static in-flight cycle window of `window` cycles
+    /// (shorthand for `with_window_policy(WindowPolicy::Static(window))`).
     pub fn with_inflight_window(mut self, window: usize) -> Self {
-        self.inflight_window = window;
+        self.window_policy = WindowPolicy::Static(window);
+        self
+    }
+
+    /// Sets the window policy.
+    pub fn with_window_policy(mut self, policy: WindowPolicy) -> Self {
+        self.window_policy = policy;
         self
     }
 
@@ -71,6 +263,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// The effective window an execution opens with (see
+    /// [`WindowPolicy::initial_window`]).
+    pub fn initial_window(&self) -> usize {
+        self.window_policy.initial_window()
+    }
+
     pub(crate) fn validate(&self) {
         assert!(
             self.cycle_period_secs > 0.0,
@@ -83,10 +281,7 @@ impl RuntimeConfig {
             self.cycle_period_secs.is_finite(),
             "cycle period must be finite"
         );
-        assert!(
-            self.inflight_window > 0,
-            "window must admit at least one cycle"
-        );
+        self.window_policy.validate();
         assert!(
             self.max_post_attempts >= 1,
             "need at least one post attempt"
@@ -101,7 +296,7 @@ impl RuntimeConfig {
     pub(crate) fn is_valid(&self) -> bool {
         self.cycle_period_secs.is_finite()
             && self.cycle_period_secs > 0.0
-            && self.inflight_window > 0
+            && self.window_policy.is_valid()
             && self.max_post_attempts >= 1
             && self
                 .hit_timeout_secs
@@ -112,7 +307,7 @@ impl RuntimeConfig {
 impl Encode for RuntimeConfig {
     fn encode(&self, out: &mut Vec<u8>) {
         self.cycle_period_secs.encode(out);
-        self.inflight_window.encode(out);
+        self.window_policy.encode(out);
         self.hit_timeout_secs.encode(out);
         self.max_post_attempts.encode(out);
         self.escalate_on_repost.encode(out);
@@ -123,7 +318,7 @@ impl Decode for RuntimeConfig {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let config = Self {
             cycle_period_secs: f64::decode(r)?,
-            inflight_window: usize::decode(r)?,
+            window_policy: WindowPolicy::decode(r)?,
             hit_timeout_secs: Option::<f64>::decode(r)?,
             max_post_attempts: u32::decode(r)?,
             escalate_on_repost: bool::decode(r)?,
@@ -149,13 +344,49 @@ mod tests {
     fn paper_defaults_are_valid() {
         RuntimeConfig::paper().validate();
         RuntimeConfig::sequential().validate();
-        assert_eq!(RuntimeConfig::sequential().inflight_window, 1);
+        assert_eq!(
+            RuntimeConfig::sequential().window_policy,
+            WindowPolicy::Static(1)
+        );
+        assert_eq!(RuntimeConfig::sequential().initial_window(), 1);
+    }
+
+    #[test]
+    fn adaptive_defaults_are_valid_and_open_at_the_floor() {
+        let policy = WindowPolicy::adaptive(2, 6);
+        RuntimeConfig::paper().with_window_policy(policy).validate();
+        assert_eq!(policy.initial_window(), 2);
+        assert!(policy.is_adaptive());
+        assert!(!WindowPolicy::Static(3).is_adaptive());
     }
 
     #[test]
     #[should_panic(expected = "at least one cycle")]
     fn zero_window_rejected() {
         RuntimeConfig::paper().with_inflight_window(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn inverted_adaptive_range_rejected() {
+        RuntimeConfig::paper()
+            .with_window_policy(WindowPolicy::adaptive(4, 2))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "above the low threshold")]
+    fn collapsed_hysteresis_band_rejected() {
+        RuntimeConfig::paper()
+            .with_window_policy(WindowPolicy::Adaptive {
+                min: 1,
+                max: 4,
+                percentile: 0.9,
+                low_threshold: 0.5,
+                high_threshold: 0.5,
+                cooldown_cycles: 0,
+            })
+            .validate();
     }
 
     #[test]
@@ -179,8 +410,25 @@ mod tests {
         let config = RuntimeConfig::paper().with_hit_timeout(Some(900.0), 3);
         assert_eq!(RuntimeConfig::from_bytes(&config.to_bytes()), Ok(config));
 
+        let adaptive = RuntimeConfig::paper().with_window_policy(WindowPolicy::adaptive(1, 8));
+        assert_eq!(
+            RuntimeConfig::from_bytes(&adaptive.to_bytes()),
+            Ok(adaptive)
+        );
+
         let mut bad = RuntimeConfig::paper();
         bad.cycle_period_secs = f64::INFINITY;
+        assert_eq!(
+            RuntimeConfig::from_bytes(&bad.to_bytes()),
+            Err(DecodeError::Invalid)
+        );
+
+        // An adaptive policy whose hysteresis band is inverted on the wire
+        // is rejected at decode.
+        let mut bad = RuntimeConfig::paper().with_window_policy(WindowPolicy::adaptive(1, 8));
+        if let WindowPolicy::Adaptive { low_threshold, .. } = &mut bad.window_policy {
+            *low_threshold = 9.0;
+        }
         assert_eq!(
             RuntimeConfig::from_bytes(&bad.to_bytes()),
             Err(DecodeError::Invalid)

@@ -22,6 +22,11 @@
 //!   re-driven as event handlers over the reentrant cycle stages the core
 //!   crate exposes, with bounded cycle overlap (backpressure), per-HIT
 //!   timeouts, and incentive-escalated reposts charged to the same budget.
+//!   The overlap bound is governed by a [`WindowPolicy`]: a static window,
+//!   or an adaptive one whose deterministic controller widens/narrows the
+//!   effective window at `CycleClosed` boundaries from the metrics tap's
+//!   rolling crowd-delay quantiles ([`WindowDecision`] is its vocabulary;
+//!   [`RuntimeReport::window_trajectory`] its audit trail).
 //!   Execution is reentrant ([`PipelinedSystem::step`] /
 //!   [`PipelinedSystem::run_until`]) and checkpointable at any event
 //!   boundary into a versioned, checksummed [`RuntimeSnapshot`] that
@@ -72,15 +77,17 @@ mod snapshot;
 mod sweep;
 
 pub use clock::VirtualClock;
-pub use config::RuntimeConfig;
+pub use config::{RuntimeConfig, WindowPolicy};
 pub use event::{Event, EventKind};
 pub use fleet::{
     ArbitrationPolicy, ContentionStats, FleetConfig, FleetLedger, FleetOrchestrator, FleetReport,
-    FleetSnapshot, FleetSnapshotError, ShardSpec, FLEET_SNAPSHOT_FORMAT_VERSION,
+    FleetSnapshot, FleetSnapshotError, ShardSpec, TapGridMismatch, FLEET_SNAPSHOT_FORMAT_VERSION,
 };
 pub use hit::{HitBoard, HitId, InFlightHit};
 pub use metrics::{MetricKind, MetricRecord, MetricsSink, MetricsTap, MetricsTapConfig};
-pub use pipeline::{blocking_makespan_secs, PipelinedSystem, RunBound, RuntimeReport};
+pub use pipeline::{
+    blocking_makespan_secs, PipelinedSystem, RunBound, RuntimeReport, WindowDecision,
+};
 pub use queue::EventQueue;
 pub use snapshot::{RuntimeSnapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use sweep::{ParallelSweep, SweepCheckpoints};

@@ -4,7 +4,7 @@
 use crate::fleet::FleetHook;
 use crate::{
     EventKind, EventQueue, HitBoard, HitId, MetricKind, MetricRecord, MetricsSink, MetricsTap,
-    RuntimeConfig, RuntimeSnapshot, SnapshotError, VirtualClock,
+    RuntimeConfig, RuntimeSnapshot, SnapshotError, VirtualClock, WindowPolicy,
 };
 use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem, CycleOutcome, CycleWork, SchemeReport};
 use crowdlearn_crowd::{IncentiveLevel, SubmitterId};
@@ -38,7 +38,46 @@ pub struct RuntimeReport {
     pub reposts: u64,
     /// The run's streaming metrics, when a [`MetricsTap`] was attached
     /// (via [`PipelinedSystem::attach_metrics_tap`]) for the whole run.
+    /// Always `Some` under an adaptive window policy — the controller
+    /// needs the tap, so [`PipelinedSystem::start`] attaches one.
     pub metrics: Option<MetricsTap>,
+    /// The effective in-flight window after each `CycleClosed` decision,
+    /// in cycle-close order — the window controller's trajectory. Constant
+    /// under [`WindowPolicy::Static`].
+    pub window_trajectory: Vec<usize>,
+}
+
+/// The window controller's most recent move at a `CycleClosed` boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowDecision {
+    /// No adjustment: static policy, cooldown, hysteresis dead zone, or a
+    /// bound was hit.
+    Held,
+    /// The effective window grew by one cycle.
+    Widened,
+    /// The effective window shrank by one cycle.
+    Narrowed,
+}
+
+impl Encode for WindowDecision {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WindowDecision::Held => 0u8.encode(out),
+            WindowDecision::Widened => 1u8.encode(out),
+            WindowDecision::Narrowed => 2u8.encode(out),
+        }
+    }
+}
+
+impl Decode for WindowDecision {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(WindowDecision::Held),
+            1 => Ok(WindowDecision::Widened),
+            2 => Ok(WindowDecision::Narrowed),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
 }
 
 /// The virtual-time makespan of the *blocking* system on the same
@@ -77,10 +116,12 @@ pub enum RunBound {
 /// because IPD's choice for query *n+1* depends on the delay observed for
 /// query *n*. Pipelining comes from *cycles overlapping*: while cycle `k`'s
 /// crowd answers are pending, cycles `k+1..k+window-1` arrive, run
-/// inference, and post their own queries. With `inflight_window == 1` the
-/// event loop degenerates to the blocking system's exact module-call order,
-/// which is what the golden test pins: identical per-image labels, cycle by
-/// cycle.
+/// inference, and post their own queries. With `WindowPolicy::Static(1)`
+/// the event loop degenerates to the blocking system's exact module-call
+/// order, which is what the golden test pins: identical per-image labels,
+/// cycle by cycle. Under [`WindowPolicy::Adaptive`] the effective window
+/// itself moves at `CycleClosed` boundaries, steered by the metrics tap
+/// (see [`RuntimeConfig`] and DESIGN.md "Adaptive window control").
 ///
 /// Execution is reentrant: [`PipelinedSystem::run`] is a convenience over
 /// [`PipelinedSystem::step`]/[`PipelinedSystem::run_until`], which pause at
@@ -172,10 +213,34 @@ impl PipelinedSystem {
     /// Begins an execution over `stream` if none is in progress: schedules
     /// every cycle's arrival on the sensing cadence. Idempotent while an
     /// execution is running.
+    ///
+    /// An adaptive window policy is driven by the metrics tap, so when the
+    /// caller did not attach one, `start` attaches the default
+    /// [`MetricsTap::new`] — adaptive runs therefore always report
+    /// `Some` on [`RuntimeReport::metrics`]. (Detaching the tap mid-run
+    /// freezes the controller at its current window.)
     pub fn start(&mut self, stream: &SensingCycleStream) {
         if self.exec.is_none() {
+            if self.config.window_policy.is_adaptive() && self.tap.is_none() {
+                self.tap = Some(MetricsTap::new());
+            }
             self.exec = Some(ExecState::start(&self.config, stream.cycles().len()));
         }
+    }
+
+    /// The controller's current effective in-flight window, or `None` when
+    /// no execution is in progress. Constant under
+    /// [`WindowPolicy::Static`]; poll between
+    /// [`PipelinedSystem::run_until`] slices to watch an adaptive
+    /// controller move.
+    pub fn effective_window(&self) -> Option<usize> {
+        self.exec.as_ref().map(|e| e.window)
+    }
+
+    /// The window controller's decision at the most recent `CycleClosed`
+    /// boundary, or `None` when no execution is in progress.
+    pub fn last_window_decision(&self) -> Option<WindowDecision> {
+        self.exec.as_ref().map(|e| e.last_window_decision)
     }
 
     /// Processes the next event. Returns `false` when the event queue has
@@ -352,6 +417,7 @@ impl PipelinedSystem {
             timeouts: exec.timeouts,
             reposts: exec.reposts,
             metrics: self.tap.take(),
+            window_trajectory: exec.window_trajectory,
         }
     }
 
@@ -417,6 +483,15 @@ struct ExecState {
     waiting: VecDeque<usize>,
     /// Cycles admitted (inference scheduled or active) and not yet retired.
     slots_used: usize,
+    /// The window controller's state: the current *effective* in-flight
+    /// window (always `config.initial_window()` under a static policy).
+    window: usize,
+    /// `CycleClosed` boundaries left before the controller may move again.
+    window_cooldown: u32,
+    /// The controller's most recent decision.
+    last_window_decision: WindowDecision,
+    /// Effective window after each `CycleClosed` decision, in close order.
+    window_trajectory: Vec<usize>,
     events_processed: u64,
     outcomes: Vec<Option<CycleOutcome>>,
     completed_at_secs: Vec<f64>,
@@ -442,6 +517,10 @@ impl ExecState {
             active: BTreeMap::new(),
             waiting: VecDeque::new(),
             slots_used: 0,
+            window: config.initial_window(),
+            window_cooldown: 0,
+            last_window_decision: WindowDecision::Held,
+            window_trajectory: Vec::new(),
             events_processed: 0,
             outcomes: (0..n_cycles).map(|_| None).collect(),
             completed_at_secs: vec![0.0; n_cycles],
@@ -460,6 +539,10 @@ impl Encode for ExecState {
         self.active.encode(out);
         self.waiting.encode(out);
         self.slots_used.encode(out);
+        self.window.encode(out);
+        self.window_cooldown.encode(out);
+        self.last_window_decision.encode(out);
+        self.window_trajectory.encode(out);
         self.events_processed.encode(out);
         self.outcomes.encode(out);
         self.completed_at_secs.encode(out);
@@ -478,6 +561,10 @@ impl Decode for ExecState {
             active: BTreeMap::<usize, CycleWork>::decode(r)?,
             waiting: VecDeque::<usize>::decode(r)?,
             slots_used: usize::decode(r)?,
+            window: usize::decode(r)?,
+            window_cooldown: u32::decode(r)?,
+            last_window_decision: WindowDecision::decode(r)?,
+            window_trajectory: Vec::<usize>::decode(r)?,
             events_processed: u64::decode(r)?,
             outcomes: Vec::<Option<CycleOutcome>>::decode(r)?,
             completed_at_secs: Vec::<f64>::decode(r)?,
@@ -489,7 +576,11 @@ impl Decode for ExecState {
         let cycle_indices_in_range = state.active.keys().all(|&k| k < n)
             && state.waiting.iter().all(|&k| k < n)
             && state.completed_at_secs.len() == n;
+        let window_ok = state.window >= 1
+            && state.window_trajectory.len() <= n
+            && state.window_trajectory.iter().all(|&w| w >= 1);
         if !cycle_indices_in_range
+            || !window_ok
             || state.peak_cycles_in_flight < state.active.len()
             || state
                 .completed_at_secs
@@ -586,15 +677,81 @@ impl Driver<'_> {
                     spent_cents,
                     queries,
                 });
+                self.control_window();
+                self.exec.window_trajectory.push(self.exec.window);
                 self.try_admit();
             }
         }
     }
 
-    /// Admits waiting cycles while the pipeline window has room, scheduling
-    /// each one's `InferenceDone` after the committee's execution delay.
+    /// The adaptive window controller, consulted at every `CycleClosed`
+    /// boundary (after the close was emitted, before admission). Under
+    /// [`WindowPolicy::Adaptive`] it compares the tap's rolling crowd-delay
+    /// percentile against the low/high thresholds (multiples of the cycle
+    /// period) and moves the effective window one step within `[min, max]`:
+    ///
+    /// * **widen** when the watched percentile exceeds the high threshold
+    ///   *and* arrivals are queued behind the window — crowd waits outlast
+    ///   the cadence and admission is the bottleneck;
+    /// * **narrow** when the percentile is below the low threshold and no
+    ///   backlog is queued — the crowd beats the cadence, so overlap only
+    ///   inflates HIT-board and budget exposure;
+    /// * **hold** otherwise (the hysteresis dead zone between the
+    ///   thresholds), and always for `cooldown_cycles` closes after a move.
+    ///
+    /// The decision is a pure function of the streamed metrics and the
+    /// execution state — no wall clock, no RNG — so it preserves the
+    /// runtime's same-seed byte-identity, and its state (window, cooldown,
+    /// last decision) rides inside the snapshot for identical resume.
+    fn control_window(&mut self) {
+        let WindowPolicy::Adaptive {
+            min,
+            max,
+            percentile,
+            low_threshold,
+            high_threshold,
+            cooldown_cycles,
+        } = self.config.window_policy
+        else {
+            return;
+        };
+        if self.exec.window_cooldown > 0 {
+            self.exec.window_cooldown -= 1;
+            self.exec.last_window_decision = WindowDecision::Held;
+            return;
+        }
+        // No tap (detached mid-run) or no absorbed answer yet: no signal,
+        // hold at the current window.
+        let Some(delay_p) = self
+            .tap
+            .as_deref()
+            .and_then(|tap| tap.crowd_delay().quantile(percentile))
+        else {
+            self.exec.last_window_decision = WindowDecision::Held;
+            return;
+        };
+        let period = self.config.cycle_period_secs;
+        let backlog = !self.exec.waiting.is_empty();
+        if delay_p > high_threshold * period && backlog && self.exec.window < max {
+            self.exec.window += 1;
+            self.exec.window_cooldown = cooldown_cycles;
+            self.exec.last_window_decision = WindowDecision::Widened;
+        } else if delay_p < low_threshold * period && !backlog && self.exec.window > min {
+            // No eviction on narrow: admission simply stops until
+            // occupancy drops below the new window.
+            self.exec.window -= 1;
+            self.exec.window_cooldown = cooldown_cycles;
+            self.exec.last_window_decision = WindowDecision::Narrowed;
+        } else {
+            self.exec.last_window_decision = WindowDecision::Held;
+        }
+    }
+
+    /// Admits waiting cycles while the effective pipeline window has room,
+    /// scheduling each one's `InferenceDone` after the committee's
+    /// execution delay.
     fn try_admit(&mut self) {
-        while self.exec.slots_used < self.config.inflight_window {
+        while self.exec.slots_used < self.exec.window {
             let Some(k) = self.exec.waiting.pop_front() else {
                 return;
             };
@@ -652,14 +809,17 @@ impl Driver<'_> {
     }
 
     /// Emits the `HitPosted` marker and schedules the HIT's resolution:
-    /// `HitAnswered` when every worker beats the timeout, `HitTimedOut`
-    /// otherwise. Exactly one resolution event is scheduled per posted HIT.
+    /// `HitAnswered` when every worker *beats* the timeout (`delay <
+    /// timeout`), `HitTimedOut` otherwise — an answer landing exactly at
+    /// the timeout instant is censored, matching the IPD contract's
+    /// "delay >= timeout" (`CrowdLearnSystem::observe_crowd_delay`).
+    /// Exactly one resolution event is scheduled per posted HIT.
     fn schedule_hit_events(&mut self, k: usize, hit: HitId, posted_at: f64, delay: f64) {
         self.exec
             .queue
             .schedule(posted_at, EventKind::HitPosted { cycle: k, hit });
         match self.config.hit_timeout_secs {
-            Some(timeout) if delay > timeout => self.exec.queue.schedule(
+            Some(timeout) if delay >= timeout => self.exec.queue.schedule(
                 posted_at + timeout,
                 EventKind::HitTimedOut { cycle: k, hit },
             ),
@@ -765,10 +925,13 @@ impl Driver<'_> {
         }
 
         // Out of attempts (or budget): wait the expired HIT out after all.
-        // Its answer completes at `posted_at + delay` — strictly after the
-        // timeout, since `HitTimedOut` is only scheduled when the delay
-        // exceeds the timeout — so absorption is deferred to a `LateAnswer`
-        // there instead of happening at the timeout instant.
+        // Its answer completes at `posted_at + delay` — at or after the
+        // timeout, since `HitTimedOut` is scheduled when the delay reaches
+        // the timeout — so absorption is deferred to a `LateAnswer` there
+        // instead of happening inside the timeout handler. At the exact
+        // boundary (`delay == timeout`) both events share a due time and
+        // the queue's scheduling-order tiebreak absorbs the late answer
+        // after this timeout, keeping the censor-then-absorb order.
         let due = inflight.posted_at_secs + inflight.pending.completion_delay_secs();
         let id = inflight.id;
         self.exec.board.reinstate(inflight);

@@ -35,8 +35,12 @@ const MAGIC: [u8; 8] = *b"CLSNAP\x00\x01";
 /// Version history: 1 — initial format; 2 — `CycleOutcome` gained exact
 /// per-query delays and the payload gained the optional metrics tap;
 /// 3 — the `Platform` codec gained the submitter id and `PlatformStats`
-/// gained the repost grid and per-submitter usage (fleet attribution).
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
+/// gained the repost grid and per-submitter usage (fleet attribution);
+/// 4 — `RuntimeConfig` encodes a tagged `WindowPolicy` where the static
+/// window used to sit, and the execution state carries the window
+/// controller (effective window, cooldown counter, last decision, window
+/// trajectory).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 4;
 
 /// Why a snapshot could not be produced or restored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

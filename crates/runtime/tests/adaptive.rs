@@ -1,0 +1,202 @@
+//! Behavioral tests for the adaptive window controller: on a platform with
+//! *exact* (zero-noise, uniform-speed) delays, the controller's moves are
+//! fully predictable, so the tests pin both directions of the decision
+//! rule — widening under a slow crowd with a backlog, narrowing once fast
+//! contexts dominate the rolling quantile and the backlog drains — plus
+//! the guarantees the policy makes regardless of profile: the effective
+//! window never leaves `[min, max]`, `Static` never moves, and a collapsed
+//! `Adaptive { min == max }` range cannot move either.
+
+use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
+use crowdlearn_crowd::{
+    DelayModel, IncentiveLevel, Platform, PlatformConfig, Worker, WorkerId, WorkerPool,
+};
+use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream, TemporalContext};
+use crowdlearn_runtime::{PipelinedSystem, RunBound, RuntimeConfig, RuntimeReport, WindowPolicy};
+
+/// Morning/afternoon HITs take `slow_secs` exactly, evening/midnight HITs
+/// `fast_secs` exactly — contexts rotate round-robin per cycle, so the
+/// stream alternates two slow cycles with two fast ones.
+fn diurnal_delay_model(slow_secs: f64, fast_secs: f64) -> DelayModel {
+    DelayModel::from_table(
+        [
+            [slow_secs; IncentiveLevel::COUNT],
+            [slow_secs; IncentiveLevel::COUNT],
+            [fast_secs; IncentiveLevel::COUNT],
+            [fast_secs; IncentiveLevel::COUNT],
+        ],
+        0.0,
+    )
+}
+
+fn uniform_pool(size: usize) -> WorkerPool {
+    let workers = (0..size)
+        .map(|i| Worker::from_traits(WorkerId(i as u32), 0.85, 1.0, [1.0; TemporalContext::COUNT]))
+        .collect();
+    WorkerPool::from_workers(workers)
+}
+
+fn adaptive_run(policy: WindowPolicy, cycles: usize) -> RuntimeReport {
+    let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(11));
+    let stream = SensingCycleStream::new(&dataset, cycles, 4);
+    let platform_config = PlatformConfig::paper()
+        .with_seed(23)
+        .with_delay_model(diurnal_delay_model(1200.0, 30.0));
+    let platform = Platform::with_pool(platform_config, uniform_pool(80));
+    let system = CrowdLearnSystem::with_platform(&dataset, CrowdLearnConfig::paper(), platform);
+    let runtime = RuntimeConfig::paper().with_window_policy(policy);
+    let mut pipelined = PipelinedSystem::from_system(system, runtime);
+    pipelined.run(&dataset, &stream)
+}
+
+/// An aggressive controller over `[1, 3]`: watch the p25 delay, narrow
+/// below 0.1 cycle periods (60 s), widen above 0.5 (300 s), no cooldown.
+fn test_policy() -> WindowPolicy {
+    WindowPolicy::Adaptive {
+        min: 1,
+        max: 3,
+        percentile: 0.25,
+        low_threshold: 0.1,
+        high_threshold: 0.5,
+        cooldown_cycles: 0,
+    }
+}
+
+#[test]
+fn controller_widens_under_backlog_and_narrows_when_the_crowd_speeds_up() {
+    let run = adaptive_run(test_policy(), 16);
+
+    // One trajectory entry per cycle close.
+    assert_eq!(run.window_trajectory.len(), 16);
+    assert!(
+        run.window_trajectory.iter().all(|&w| (1..=3).contains(&w)),
+        "effective window must stay within [min, max]: {:?}",
+        run.window_trajectory
+    );
+
+    // Widening: the slow cycles (1200 s per serialized query against a
+    // 600 s cadence) pile arrivals behind a window of 1, and the p25 delay
+    // starts at 1200 s >> 300 s, so the controller must open the window.
+    let peak = *run.window_trajectory.iter().max().expect("non-empty");
+    assert!(
+        peak > 1,
+        "a 2x-over-cadence crowd with a backlog must widen the window: {:?}",
+        run.window_trajectory
+    );
+
+    // Narrowing: once the fast contexts (30 s) have fed a quarter of the
+    // samples, the p25 drops under 60 s; when the arrival backlog has also
+    // drained, the controller must hand back the unneeded overlap.
+    let last = *run.window_trajectory.last().expect("non-empty");
+    assert!(
+        last < peak,
+        "after the crowd speeds up and the backlog drains, the window must narrow: {:?}",
+        run.window_trajectory
+    );
+
+    // The adaptive policy always reports its tap (auto-attached at start).
+    assert!(
+        run.metrics.is_some(),
+        "adaptive runs must hand the controlling tap back on the report"
+    );
+}
+
+#[test]
+fn static_policy_trajectory_is_constant() {
+    let run = adaptive_run(WindowPolicy::Static(2), 8);
+    assert_eq!(run.window_trajectory, vec![2; 8]);
+    assert!(
+        run.metrics.is_none(),
+        "a static run without an attached tap reports no metrics"
+    );
+}
+
+#[test]
+fn collapsed_adaptive_range_cannot_move() {
+    // min == max pins the window even under the aggressive thresholds and
+    // the strongly bimodal delay profile.
+    let run = adaptive_run(
+        WindowPolicy::Adaptive {
+            min: 2,
+            max: 2,
+            percentile: 0.25,
+            low_threshold: 0.1,
+            high_threshold: 0.5,
+            cooldown_cycles: 0,
+        },
+        8,
+    );
+    assert_eq!(run.window_trajectory, vec![2; 8]);
+}
+
+#[test]
+fn cooldown_spaces_controller_moves_apart() {
+    // Same fixture, but every move must be followed by >= 2 held closes.
+    let run = adaptive_run(
+        WindowPolicy::Adaptive {
+            min: 1,
+            max: 3,
+            percentile: 0.25,
+            low_threshold: 0.1,
+            high_threshold: 0.5,
+            cooldown_cycles: 2,
+        },
+        16,
+    );
+    let moves: Vec<usize> = run
+        .window_trajectory
+        .windows(2)
+        .enumerate()
+        .filter(|(_, w)| w[0] != w[1])
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        !moves.is_empty(),
+        "the bimodal profile must still move the window: {:?}",
+        run.window_trajectory
+    );
+    for pair in moves.windows(2) {
+        assert!(
+            pair[1] - pair[0] > 2,
+            "moves at closes {} and {} violate the 2-cycle cooldown: {:?}",
+            pair[0],
+            pair[1],
+            run.window_trajectory
+        );
+    }
+}
+
+#[test]
+fn effective_window_is_pollable_between_slices() {
+    let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(11));
+    let stream = SensingCycleStream::new(&dataset, 16, 4);
+    let platform_config = PlatformConfig::paper()
+        .with_seed(23)
+        .with_delay_model(diurnal_delay_model(1200.0, 30.0));
+    let platform = Platform::with_pool(platform_config, uniform_pool(80));
+    let system = CrowdLearnSystem::with_platform(&dataset, CrowdLearnConfig::paper(), platform);
+    let mut pipelined = PipelinedSystem::from_system(
+        system,
+        RuntimeConfig::paper().with_window_policy(test_policy()),
+    );
+
+    assert_eq!(pipelined.effective_window(), None, "not running yet");
+    let mut seen = Vec::new();
+    let mut report = None;
+    while report.is_none() {
+        report = pipelined.run_until(&dataset, &stream, RunBound::Events(25));
+        if let Some(window) = pipelined.effective_window() {
+            seen.push(window);
+        }
+    }
+    let report = report.expect("loop exits with the report");
+    assert!(
+        seen.iter().any(|&w| w > 1),
+        "polled windows must show the controller opening up: {seen:?}"
+    );
+    // The polled view and the trajectory agree on the peak window.
+    let polled_peak = seen.iter().max().copied().unwrap_or(1);
+    let trajectory_peak = report.window_trajectory.iter().max().copied().unwrap();
+    assert_eq!(polled_peak, trajectory_peak);
+    assert_eq!(pipelined.effective_window(), None, "drained run is idle");
+}

@@ -11,8 +11,11 @@
 //!    the *full* delay at absorb. Every posted attempt must produce exactly
 //!    one IPD observation.
 
-use crowdlearn::CrowdLearnConfig;
-use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
+use crowdlearn::{CrowdLearnConfig, CrowdLearnSystem};
+use crowdlearn_crowd::{
+    DelayModel, IncentiveLevel, Platform, PlatformConfig, Worker, WorkerId, WorkerPool,
+};
+use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream, TemporalContext};
 use crowdlearn_runtime::{PipelinedSystem, RuntimeConfig, RuntimeReport};
 
 const TIMEOUT_SECS: f64 = 120.0;
@@ -82,5 +85,96 @@ fn every_posted_attempt_feeds_exactly_one_ipd_observation() {
         observed,
         run.report.queries_issued as u64 + run.reposts,
         "attempts and IPD observations must match one-to-one"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The exact-boundary semantic: an answer landing *at* the timeout instant.
+//
+// `schedule_hit_events` used to schedule `HitAnswered` for `delay ==
+// hit_timeout_secs` (censoring only `delay > timeout`), while the IPD
+// contract (`CrowdLearnSystem::observe_crowd_delay`) and the pipeline docs
+// both censor "delay >= timeout". The runtime now censors at `>=`, matching
+// the docs. A platform whose every HIT completes in *exactly* the table
+// mean pins the boundary: zero-noise delay surface, every worker at speed
+// factor 1.0, so `delay == mean` bit-exactly.
+
+/// Every delay cell equal to `mean_secs`, no log-normal noise.
+fn flat_delay_model(mean_secs: f64) -> DelayModel {
+    DelayModel::from_table(
+        [[mean_secs; IncentiveLevel::COUNT]; TemporalContext::COUNT],
+        0.0,
+    )
+}
+
+/// A pool of identical always-on workers at speed factor exactly 1.0, so
+/// each response delay is the cell mean × 1.0 × exp(0) == the cell mean.
+fn uniform_pool(size: usize) -> WorkerPool {
+    let workers = (0..size)
+        .map(|i| Worker::from_traits(WorkerId(i as u32), 0.85, 1.0, [1.0; TemporalContext::COUNT]))
+        .collect();
+    WorkerPool::from_workers(workers)
+}
+
+fn boundary_run(mean_secs: f64, timeout_secs: f64) -> (RuntimeReport, u64) {
+    let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(11));
+    let stream = SensingCycleStream::new(&dataset, 4, 4);
+    let platform_config = PlatformConfig::paper()
+        .with_seed(23)
+        .with_delay_model(flat_delay_model(mean_secs));
+    let platform = Platform::with_pool(platform_config, uniform_pool(80));
+    let system = CrowdLearnSystem::with_platform(&dataset, CrowdLearnConfig::paper(), platform);
+    let runtime = RuntimeConfig::sequential().with_hit_timeout(Some(timeout_secs), 1);
+    let mut pipelined = PipelinedSystem::from_system(system, runtime);
+    let observations_before = pipelined.system().delay_observations();
+    let run = pipelined.run(&dataset, &stream);
+    let observed = pipelined.system().delay_observations() - observations_before;
+    (run, observed)
+}
+
+#[test]
+fn answer_landing_exactly_at_the_timeout_is_censored() {
+    // delay == timeout == 300 s for every HIT: the boundary case. Censoring
+    // at `>=` means every posted attempt times out; the old `>` semantic
+    // would have answered every one of them.
+    let (run, observed) = boundary_run(300.0, 300.0);
+    let queries = run.report.queries_issued as u64;
+    assert!(queries > 0, "run must actually post crowd queries");
+    assert_eq!(
+        run.timeouts, queries,
+        "every exact-boundary answer must be censored (delay >= timeout)"
+    );
+    assert_eq!(run.reposts, 0, "one attempt means no reposts");
+    // Exactly one (censored) IPD observation per posted attempt — the
+    // waited-out late absorption must not observe a second time.
+    assert_eq!(
+        observed, queries,
+        "boundary censoring must still observe exactly once per attempt"
+    );
+    // The waited-out answers are still absorbed, at their true completion
+    // time: every cycle closes and records its full per-query delays.
+    for outcome in &run.outcomes {
+        for &delay in &outcome.query_delay_secs {
+            assert!(
+                (delay - 300.0).abs() < 1e-9,
+                "uniform platform must produce the exact table-mean delay, got {delay}"
+            );
+        }
+    }
+}
+
+#[test]
+fn answer_strictly_inside_the_timeout_is_absorbed() {
+    // Same platform, timeout one second *above* the uniform delay: no HIT
+    // reaches the boundary, so nothing may be censored. Together with the
+    // test above this pins the censor set as exactly `delay >= timeout`.
+    let (run, observed) = boundary_run(300.0, 301.0);
+    let queries = run.report.queries_issued as u64;
+    assert!(queries > 0, "run must actually post crowd queries");
+    assert_eq!(run.timeouts, 0, "sub-timeout answers must all be absorbed");
+    assert_eq!(run.reposts, 0);
+    assert_eq!(
+        observed, queries,
+        "absorbed answers observe their true delay exactly once"
     );
 }

@@ -10,7 +10,8 @@ use crowdlearn_dataset::{Dataset, DatasetConfig, SensingCycleStream};
 use crowdlearn_runtime::{
     FleetConfig, FleetOrchestrator, FleetSnapshot, FleetSnapshotError, MetricsTap, ParallelSweep,
     PipelinedSystem, RunBound, RuntimeConfig, RuntimeReport, RuntimeSnapshot, ShardSpec,
-    SnapshotError, SweepCheckpoints, FLEET_SNAPSHOT_FORMAT_VERSION, SNAPSHOT_FORMAT_VERSION,
+    SnapshotError, SweepCheckpoints, WindowPolicy, FLEET_SNAPSHOT_FORMAT_VERSION,
+    SNAPSHOT_FORMAT_VERSION,
 };
 
 fn dataset(seed: u64) -> Dataset {
@@ -219,6 +220,99 @@ fn sweep_point_resumed_from_auto_snapshot_matches_uninterrupted() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive window controller: determinism and snapshot coverage over a run
+// where the controller actually moves the window.
+
+/// An adaptive runtime whose controller is aggressive enough to move on
+/// the short 8x5 paper fixture: watch the median delay, widen as soon as
+/// it exceeds a quarter of the 600 s cadence with arrivals queued.
+fn adaptive_runtime_config() -> RuntimeConfig {
+    RuntimeConfig::paper().with_window_policy(WindowPolicy::Adaptive {
+        min: 1,
+        max: 4,
+        percentile: 0.5,
+        low_threshold: 0.05,
+        high_threshold: 0.25,
+        cooldown_cycles: 0,
+    })
+}
+
+fn adaptive_run(seed: u64) -> RuntimeReport {
+    let dataset = dataset(seed);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+    let mut system = PipelinedSystem::new(
+        &dataset,
+        CrowdLearnConfig::paper(),
+        adaptive_runtime_config(),
+    );
+    system.run(&dataset, &stream)
+}
+
+#[test]
+fn adaptive_same_seed_twice_is_byte_identical_and_the_window_moves() {
+    let (a, b) = (adaptive_run(7), adaptive_run(7));
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "two same-seed adaptive runs rendered different reports"
+    );
+
+    // The test is vacuous unless the controller actually moved: the
+    // paper's crowd delays dwarf a quarter of the cadence, and a window of
+    // 1 queues arrivals immediately, so the window must open up.
+    let distinct: std::collections::BTreeSet<usize> = a.window_trajectory.iter().copied().collect();
+    assert!(
+        distinct.len() > 1,
+        "the controller must move on this fixture: {:?}",
+        a.window_trajectory
+    );
+    assert!(
+        a.metrics.is_some(),
+        "adaptive runs always hand back the controlling tap"
+    );
+    // The decisions are part of the deterministic surface too.
+    assert_eq!(a.window_trajectory, b.window_trajectory);
+}
+
+#[test]
+fn adaptive_checkpoint_resume_is_byte_identical_at_sampled_event_boundaries() {
+    // Snapshot format v4 carries the controller state (effective window,
+    // cooldown, last decision, trajectory); resuming mid-run with the
+    // controller active must replay the identical report — window moves
+    // included — from every sampled boundary.
+    let baseline = adaptive_run(7);
+    let dataset = dataset(7);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+    let total = baseline.events_processed;
+
+    for cut in [1, total / 4, total / 2, (3 * total) / 4, total - 1] {
+        let mut system = PipelinedSystem::new(
+            &dataset,
+            CrowdLearnConfig::paper(),
+            adaptive_runtime_config(),
+        );
+        assert!(system
+            .run_until(&dataset, &stream, RunBound::Events(cut))
+            .is_none());
+        let window_at_cut = system.effective_window().expect("running");
+        let bytes = system.snapshot().expect("checkpointable").to_bytes();
+        let snapshot = RuntimeSnapshot::from_bytes(&bytes).expect("frame validates");
+        let mut resumed = PipelinedSystem::resume(&snapshot, &stream).expect("payload validates");
+        assert_eq!(
+            resumed.effective_window().expect("running"),
+            window_at_cut,
+            "resume must restore the controller's effective window at cut {cut}"
+        );
+        let report = resumed.run(&dataset, &stream);
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{baseline:?}"),
+            "adaptive resume from event boundary {cut}/{total} diverged"
+        );
+    }
+}
+
 /// A 2-shard fleet fixture over distinct disaster seeds, sharing the
 /// default pool with the paper budget quota per shard.
 fn fleet_fixture(seeds: &[u64]) -> (Vec<Dataset>, Vec<SensingCycleStream>, FleetOrchestrator) {
@@ -372,6 +466,96 @@ fn fleet_snapshot_resume_is_byte_identical_at_sampled_event_boundaries() {
             "fleet resume from event boundary {cut}/{total} diverged"
         );
     }
+}
+
+#[test]
+fn heterogeneous_fleet_tap_grids_are_rejected_up_front() {
+    use crowdlearn_runtime::MetricsTapConfig;
+
+    // Per-shard delay grids must agree for the fleet's crowd-delay rollup
+    // to merge; a mismatched configuration is refused at attach time, with
+    // the offending shard named, instead of aborting at report time.
+    let (datasets, streams, mut fleet) = fleet_fixture(&[7, 8]);
+    let narrow = MetricsTapConfig {
+        delay_ceiling_secs: 3600.0,
+        delay_bins: 512,
+    };
+    let err = fleet
+        .attach_metrics_tap_configs(&[MetricsTapConfig::paper(), narrow])
+        .expect_err("mismatched grids must be rejected");
+    assert_eq!(err.shard, 1);
+    assert_eq!(err.mismatch.expected, (0.0, 7200.0, 1024));
+    assert_eq!(err.mismatch.found, (0.0, 3600.0, 512));
+
+    // The rejection must not have disturbed the taps the fixture attached:
+    // the run still produces a mergeable rollup.
+    let mut matched = fleet;
+    matched
+        .attach_metrics_tap_configs(&[narrow, narrow])
+        .expect("matching custom grids attach fine");
+    let report = matched.run(&datasets, &streams);
+    let rollup = report
+        .rollup_crowd_delay
+        .as_ref()
+        .expect("homogeneous custom grids roll up");
+    assert_eq!(rollup.grid(), (0.0, 3600.0, 512));
+    assert!(!rollup.is_empty(), "rollup must absorb real delay samples");
+}
+
+#[test]
+fn fleet_shards_run_their_own_window_policies_deterministically() {
+    // One shard on the static paper window, one on an adaptive controller:
+    // policies are per-shard state, so a mixed fleet must stay
+    // same-seed-reproducible and resume byte-identically mid-run.
+    let mixed_fleet = |datasets: &[Dataset]| {
+        let specs = vec![
+            ShardSpec::new(CrowdLearnConfig::paper(), runtime_config()),
+            ShardSpec::new(CrowdLearnConfig::paper(), adaptive_runtime_config()),
+        ];
+        let budget = CrowdLearnConfig::paper().budget_cents * 2.0;
+        let mut fleet = FleetOrchestrator::new(specs, FleetConfig::new(budget), datasets);
+        fleet.attach_metrics_taps();
+        fleet
+    };
+    let datasets = vec![dataset(7), dataset(8)];
+    let streams: Vec<SensingCycleStream> = datasets
+        .iter()
+        .map(|d| SensingCycleStream::new(d, 8, 5))
+        .collect();
+
+    let baseline = mixed_fleet(&datasets).run(&datasets, &streams);
+    let again = mixed_fleet(&datasets).run(&datasets, &streams);
+    assert_eq!(
+        format!("{baseline:?}"),
+        format!("{again:?}"),
+        "two same-seed mixed-policy fleet runs rendered different reports"
+    );
+    assert_eq!(
+        baseline.shards[0].window_trajectory,
+        vec![3; 8],
+        "the static shard's window must not move"
+    );
+    assert!(
+        baseline.shards[1].window_trajectory.iter().any(|&w| w != 1),
+        "the adaptive shard's controller must move: {:?}",
+        baseline.shards[1].window_trajectory
+    );
+
+    // Mid-run resume with one controller active.
+    let total = baseline.events_processed;
+    let mut fleet = mixed_fleet(&datasets);
+    assert!(fleet
+        .run_until(&datasets, &streams, RunBound::Events(total / 2))
+        .is_none());
+    let bytes = fleet.snapshot().expect("checkpointable").to_bytes();
+    let snapshot = FleetSnapshot::from_bytes(&bytes).expect("frame validates");
+    let mut resumed = FleetOrchestrator::resume(&snapshot, &streams).expect("payload validates");
+    let report = resumed.run(&datasets, &streams);
+    assert_eq!(
+        format!("{report:?}"),
+        format!("{baseline:?}"),
+        "mixed-policy fleet resume diverged"
+    );
 }
 
 #[test]

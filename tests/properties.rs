@@ -9,7 +9,7 @@ use crowdlearn_dataset::{
     DamageLabel, Dataset, DatasetConfig, LabeledImage, SensingCycleStream, SyntheticImage,
 };
 use crowdlearn_metrics::{wilcoxon_signed_rank, ConfusionMatrix, RocCurve, SummaryStats};
-use crowdlearn_runtime::{MetricsTap, PipelinedSystem, RuntimeConfig};
+use crowdlearn_runtime::{MetricsTap, PipelinedSystem, RuntimeConfig, WindowPolicy};
 use crowdlearn_truth::{Aggregator, Annotation, DawidSkeneEm, MajorityVoting, WorkerId};
 use proptest::prelude::*;
 
@@ -322,5 +322,49 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn collapsed_adaptive_policy_is_byte_identical_to_static(
+        seed in 0u64..1000,
+        n in 1usize..4,
+        percentile in 0.0f64..1.0,
+        cooldown in 0u32..3
+    ) {
+        // An `Adaptive` policy pinned to `min == max == n` can never move,
+        // so the whole run — controller consultations included — must
+        // reproduce `Static(n)` byte for byte, whatever thresholds the
+        // controller watches. The static run gets the same explicitly
+        // attached tap the adaptive run auto-attaches, so the reports'
+        // metrics fields compare too.
+        let run = |policy: WindowPolicy| {
+            let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(seed));
+            let stream = SensingCycleStream::new(&dataset, 6, 4);
+            let mut config = CrowdLearnConfig::paper().with_seed(seed);
+            config.cqc_training_queries = 200;
+            config.warmup_per_cell = 2;
+            let mut system = PipelinedSystem::from_system(
+                crowdlearn::CrowdLearnSystem::new(&dataset, config),
+                RuntimeConfig::paper().with_window_policy(policy),
+            );
+            system.attach_metrics_tap(MetricsTap::new());
+            system.run(&dataset, &stream)
+        };
+        let adaptive = run(WindowPolicy::Adaptive {
+            min: n,
+            max: n,
+            percentile,
+            low_threshold: 0.25,
+            high_threshold: 0.5,
+            cooldown_cycles: cooldown,
+        });
+        let static_run = run(WindowPolicy::Static(n));
+        prop_assert_eq!(&adaptive.window_trajectory, &static_run.window_trajectory);
+        prop_assert_eq!(
+            format!("{adaptive:?}"),
+            format!("{static_run:?}"),
+            "a collapsed adaptive range must reproduce Static({}) byte for byte",
+            n
+        );
     }
 }
