@@ -42,6 +42,9 @@ cargo run -q --release --offline --example multi_stream
 echo "==> adaptive window controller smoke"
 cargo run -q --release --offline --example adaptive_window
 
+echo "==> chaos (fault injection + mid-outage checkpoint) smoke"
+cargo run -q --release --offline --example chaos
+
 echo "==> runtime makespan bench (emits BENCH_runtime.json)"
 cargo run -q --release --offline -p crowdlearn-bench --bin makespan
 
@@ -53,5 +56,8 @@ cargo run -q --release --offline -p crowdlearn-bench --bin inference
 
 echo "==> adaptive window bench (emits BENCH_adaptive.json)"
 cargo run -q --release --offline -p crowdlearn-bench --bin adaptive
+
+echo "==> fault injection bench (emits BENCH_faults.json)"
+cargo run -q --release --offline -p crowdlearn-bench --bin faults
 
 echo "CI green."

@@ -157,6 +157,18 @@ pub trait CostedBandit: Send {
     /// Implementations panic if `action` is out of range.
     fn charge(&mut self, action: usize) -> bool;
 
+    /// Removes up to `amount` from the remaining budget and returns how much
+    /// was actually removed (less than `amount` when the ledger holds less).
+    /// This is the budget-shock path: an external clawback (platform refund
+    /// reversal, sponsor pulling funds mid-run) hits the same ledger that
+    /// [`CostedBandit::select`] draws from, so the policy's pacing reacts to
+    /// the shrunken budget on the very next selection.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `amount` is negative or not finite.
+    fn clawback(&mut self, amount: f64) -> f64;
+
     /// Budget still available.
     fn remaining_budget(&self) -> f64;
 
@@ -240,6 +252,21 @@ impl BudgetLedger {
         }
     }
 
+    /// Removes up to `amount`, clamping at zero; returns the amount taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or not finite.
+    pub(crate) fn clawback(&mut self, amount: f64) -> f64 {
+        assert!(
+            amount >= 0.0 && amount.is_finite(),
+            "clawback must be non-negative and finite"
+        );
+        let taken = amount.min(self.remaining);
+        self.remaining -= taken;
+        taken
+    }
+
     /// The most expensive affordable action, if any.
     pub(crate) fn affordable<'a>(
         &self,
@@ -281,6 +308,22 @@ mod tests {
         assert!(ledger.try_charge(3.0));
         assert!(!ledger.try_charge(0.5));
         assert_eq!(ledger.remaining(), 0.0);
+    }
+
+    #[test]
+    fn ledger_clawback_clamps_at_zero() {
+        let mut ledger = BudgetLedger::new(5.0);
+        assert_eq!(ledger.clawback(2.0), 2.0);
+        assert_eq!(ledger.remaining(), 3.0);
+        assert_eq!(ledger.clawback(10.0), 3.0);
+        assert_eq!(ledger.remaining(), 0.0);
+        assert_eq!(ledger.clawback(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clawback must be non-negative")]
+    fn ledger_clawback_rejects_negative() {
+        BudgetLedger::new(5.0).clawback(-1.0);
     }
 
     #[test]

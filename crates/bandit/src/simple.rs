@@ -92,6 +92,10 @@ impl CostedBandit for FixedPolicy {
         self.ledger.try_charge(self.config.cost(action))
     }
 
+    fn clawback(&mut self, amount: f64) -> f64 {
+        self.ledger.clawback(amount)
+    }
+
     fn remaining_budget(&self) -> f64 {
         self.ledger.remaining()
     }
@@ -163,6 +167,10 @@ impl CostedBandit for RandomPolicy {
 
     fn charge(&mut self, action: usize) -> bool {
         self.ledger.try_charge(self.config.cost(action))
+    }
+
+    fn clawback(&mut self, amount: f64) -> f64 {
+        self.ledger.clawback(amount)
     }
 
     fn remaining_budget(&self) -> f64 {

@@ -117,6 +117,10 @@ impl CostedBandit for ThompsonSampling {
         self.ledger.try_charge(self.config.cost(action))
     }
 
+    fn clawback(&mut self, amount: f64) -> f64 {
+        self.ledger.clawback(amount)
+    }
+
     fn remaining_budget(&self) -> f64 {
         self.ledger.remaining()
     }

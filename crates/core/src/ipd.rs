@@ -153,6 +153,18 @@ impl IncentivePolicy {
         self.bandit.charge(incentive.index())
     }
 
+    /// Removes up to `cents` from the bandit's remaining budget (a mid-run
+    /// budget shock), returning the amount actually clawed back. The learner
+    /// itself is untouched — only the ledger shrinks — so pacing policies
+    /// react on their next selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cents` is negative or not finite.
+    pub fn clawback_cents(&mut self, cents: f64) -> f64 {
+        self.bandit.clawback(cents)
+    }
+
     /// Remaining budget in cents.
     pub fn remaining_budget_cents(&self) -> f64 {
         self.bandit.remaining_budget()
@@ -238,6 +250,16 @@ mod tests {
         assert!(ipd.choose(TemporalContext::Morning).is_some());
         assert!(ipd.choose(TemporalContext::Morning).is_some());
         assert!(ipd.choose(TemporalContext::Morning).is_none());
+    }
+
+    #[test]
+    fn clawback_shrinks_budget_and_clamps() {
+        let bandit = FixedPolicy::new(config(10.0, 10), IncentiveLevel::C1.index());
+        let mut ipd = IncentivePolicy::new(Box::new(bandit), PayoffNormalizer::paper());
+        assert_eq!(ipd.clawback_cents(4.0), 4.0);
+        assert_eq!(ipd.remaining_budget_cents(), 6.0);
+        assert_eq!(ipd.clawback_cents(100.0), 6.0);
+        assert_eq!(ipd.remaining_budget_cents(), 0.0);
     }
 
     #[test]

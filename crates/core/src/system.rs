@@ -558,6 +558,20 @@ impl CrowdLearnSystem {
         self.ipd.remaining_budget_cents()
     }
 
+    /// Removes up to `cents` from the incentive bandit's remaining budget —
+    /// the fault-injection `BudgetShock` path (a sponsor pulling funds or a
+    /// platform reversing a refund mid-run). Returns the amount actually
+    /// clawed back; the ledger clamps at zero, and the learner's statistics
+    /// are untouched, so the policy simply paces against the smaller budget
+    /// from its next selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cents` is negative or not finite.
+    pub fn clawback_budget_cents(&mut self, cents: f64) -> f64 {
+        self.ipd.clawback_cents(cents)
+    }
+
     /// Cents spent on evaluation queries so far (bootstrap spending on the
     /// training split is excluded, as in the paper).
     pub fn evaluation_spent_cents(&self) -> u64 {
@@ -815,6 +829,22 @@ impl CrowdLearnSystem {
         work.query_delays.push(response.completion_delay_secs);
         work.in_time.push(false);
         work.truthful.push((image_index, self.cqc.infer(response)));
+    }
+
+    /// ③ (abandon variant) Retires one outstanding query *without* an
+    /// answer: the runtime's answer-loss path, where a posted attempt is
+    /// known to never come back and its censored delay observation (delay =
+    /// the timeout) was already fed to IPD via
+    /// [`CrowdLearnSystem::observe_crowd_delay`]. The image keeps its AI
+    /// label at finalization exactly like a never-posted image — no delay
+    /// statistic, no truthful inference, no weight update from this query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no query is outstanding.
+    pub fn abandon_query(&mut self, work: &mut CycleWork) {
+        assert!(work.outstanding > 0, "no outstanding query to abandon");
+        work.outstanding -= 1;
     }
 
     /// Feeds a delay observation to IPD outside the absorb path — used by

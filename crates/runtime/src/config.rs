@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use crate::faults::{BreakerConfig, FaultPlan};
 use serde::binary::{Decode, DecodeError, Encode, Reader};
 
 /// How the pipeline's in-flight cycle window is governed.
@@ -184,9 +185,10 @@ impl Decode for WindowPolicy {
 }
 
 /// Configuration of the event-driven runtime: the sensing cadence, how the
-/// in-flight cycle window is governed, and the per-HIT timeout/repost
-/// policy.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// in-flight cycle window is governed, the per-HIT timeout/repost policy,
+/// and the fault scenario to inject (empty by default — carrying a
+/// [`FaultPlan`] is what cost this struct its `Copy`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
     /// Seconds between sensing-cycle arrivals (paper Definition 1: a cycle
     /// every 10 minutes).
@@ -210,6 +212,13 @@ pub struct RuntimeConfig {
     /// attempt (capped at the highest level); `false` reposts at the same
     /// incentive.
     pub escalate_on_repost: bool,
+    /// The fault scenario injected into the run (see [`FaultPlan`]). The
+    /// empty plan — the default — schedules no events and draws nothing:
+    /// byte-identical to a runtime without fault injection.
+    pub faults: FaultPlan,
+    /// Crowd-path circuit-breaker backoff tuning (only consulted once a
+    /// fault actually rejects a post).
+    pub breaker: BreakerConfig,
 }
 
 impl RuntimeConfig {
@@ -222,6 +231,8 @@ impl RuntimeConfig {
             hit_timeout_secs: None,
             max_post_attempts: 1,
             escalate_on_repost: true,
+            faults: FaultPlan::none(),
+            breaker: BreakerConfig::paper(),
         }
     }
 
@@ -263,6 +274,18 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the fault scenario to inject.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Sets the circuit-breaker backoff tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
     /// The effective window an execution opens with (see
     /// [`WindowPolicy::initial_window`]).
     pub fn initial_window(&self) -> usize {
@@ -290,6 +313,14 @@ impl RuntimeConfig {
             assert!(t > 0.0, "HIT timeout must be positive");
             assert!(t.is_finite(), "HIT timeout must be finite");
         }
+        self.faults.validate();
+        // A lost answer never completes, so only the timeout path can
+        // retire it — loss plans without a timeout would deadlock.
+        assert!(
+            !self.faults.has_answer_loss() || self.hit_timeout_secs.is_some(),
+            "an AnswerLoss fault plan requires a HIT timeout"
+        );
+        self.breaker.validate();
     }
 
     /// Non-panicking mirror of [`RuntimeConfig::validate`] for decode paths.
@@ -301,6 +332,9 @@ impl RuntimeConfig {
             && self
                 .hit_timeout_secs
                 .is_none_or(|t| t.is_finite() && t > 0.0)
+            && self.faults.is_valid()
+            && (!self.faults.has_answer_loss() || self.hit_timeout_secs.is_some())
+            && self.breaker.is_valid()
     }
 }
 
@@ -311,6 +345,8 @@ impl Encode for RuntimeConfig {
         self.hit_timeout_secs.encode(out);
         self.max_post_attempts.encode(out);
         self.escalate_on_repost.encode(out);
+        self.faults.encode(out);
+        self.breaker.encode(out);
     }
 }
 
@@ -322,6 +358,8 @@ impl Decode for RuntimeConfig {
             hit_timeout_secs: Option::<f64>::decode(r)?,
             max_post_attempts: u32::decode(r)?,
             escalate_on_repost: bool::decode(r)?,
+            faults: FaultPlan::decode(r)?,
+            breaker: BreakerConfig::decode(r)?,
         };
         if !config.is_valid() {
             return Err(DecodeError::Invalid);
@@ -406,9 +444,61 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "requires a HIT timeout")]
+    fn answer_loss_without_timeout_rejected() {
+        RuntimeConfig::paper()
+            .with_faults(FaultPlan::new(
+                1,
+                vec![crate::FaultEpisode::AnswerLoss {
+                    prob: 0.5,
+                    from_secs: 0.0,
+                    until_secs: 100.0,
+                }],
+            ))
+            .validate();
+    }
+
+    #[test]
+    fn faulted_config_round_trips() {
+        let config = RuntimeConfig::paper()
+            .with_hit_timeout(Some(300.0), 2)
+            .with_faults(FaultPlan::new(
+                7,
+                vec![crate::FaultEpisode::PlatformOutage {
+                    from_secs: 600.0,
+                    until_secs: 1800.0,
+                }],
+            ));
+        config.validate();
+        assert_eq!(
+            RuntimeConfig::from_bytes(&config.to_bytes()),
+            Ok(config.clone())
+        );
+
+        // An AnswerLoss plan without a timeout is invalid on the wire too.
+        let mut bad = config;
+        bad.hit_timeout_secs = None;
+        bad.faults = FaultPlan::new(
+            1,
+            vec![crate::FaultEpisode::AnswerLoss {
+                prob: 0.5,
+                from_secs: 0.0,
+                until_secs: 100.0,
+            }],
+        );
+        assert_eq!(
+            RuntimeConfig::from_bytes(&bad.to_bytes()),
+            Err(DecodeError::Invalid)
+        );
+    }
+
+    #[test]
     fn codec_round_trips_and_rejects_invalid() {
         let config = RuntimeConfig::paper().with_hit_timeout(Some(900.0), 3);
-        assert_eq!(RuntimeConfig::from_bytes(&config.to_bytes()), Ok(config));
+        assert_eq!(
+            RuntimeConfig::from_bytes(&config.to_bytes()),
+            Ok(config.clone())
+        );
 
         let adaptive = RuntimeConfig::paper().with_window_policy(WindowPolicy::adaptive(1, 8));
         assert_eq!(

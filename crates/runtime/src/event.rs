@@ -11,6 +11,9 @@ use std::cmp::Ordering;
 /// completes after the committee's execution delay, HITs are posted /
 /// answered / expired on the platform (with a late-answer completion for
 /// expired HITs that are waited out), and retraining closes a cycle out.
+/// Three more carry the fault-injection machinery: scheduled fault episodes
+/// start and end ([`crate::FaultPlan`]), and the crowd-path circuit breaker
+/// probes the platform after backing off.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A sensing cycle's imagery arrived (paper Definition 1: one batch
@@ -62,11 +65,26 @@ pub enum EventKind {
         /// Index of the finalized cycle.
         cycle: usize,
     },
+    /// A scheduled fault episode begins (see [`crate::FaultPlan`]); the
+    /// driver flips the injector's view of the world at this instant.
+    FaultStart {
+        /// Index of the episode in the plan.
+        episode: usize,
+    },
+    /// A scheduled fault episode ends.
+    FaultEnd {
+        /// Index of the episode in the plan.
+        episode: usize,
+    },
+    /// The crowd-path circuit breaker's backoff elapsed; the driver tests
+    /// whether the platform accepts posts again (Open → HalfProbe).
+    BreakerProbe,
 }
 
 impl EventKind {
-    /// The sensing cycle this event belongs to.
-    pub fn cycle(&self) -> usize {
+    /// The sensing cycle this event belongs to, or `None` for the
+    /// fault-injection events, which belong to the run rather than a cycle.
+    pub fn cycle(&self) -> Option<usize> {
         match *self {
             EventKind::CycleArrival { cycle }
             | EventKind::InferenceDone { cycle }
@@ -74,7 +92,10 @@ impl EventKind {
             | EventKind::HitAnswered { cycle, .. }
             | EventKind::HitTimedOut { cycle, .. }
             | EventKind::LateAnswer { cycle, .. }
-            | EventKind::RetrainDone { cycle } => cycle,
+            | EventKind::RetrainDone { cycle } => Some(cycle),
+            EventKind::FaultStart { .. } | EventKind::FaultEnd { .. } | EventKind::BreakerProbe => {
+                None
+            }
         }
     }
 }
@@ -150,6 +171,15 @@ impl Encode for EventKind {
                 cycle.encode(out);
                 hit.encode(out);
             }
+            EventKind::FaultStart { episode } => {
+                7u8.encode(out);
+                episode.encode(out);
+            }
+            EventKind::FaultEnd { episode } => {
+                8u8.encode(out);
+                episode.encode(out);
+            }
+            EventKind::BreakerProbe => 9u8.encode(out),
         }
     }
 }
@@ -182,6 +212,13 @@ impl Decode for EventKind {
                 cycle: usize::decode(r)?,
                 hit: HitId::decode(r)?,
             }),
+            7 => Ok(EventKind::FaultStart {
+                episode: usize::decode(r)?,
+            }),
+            8 => Ok(EventKind::FaultEnd {
+                episode: usize::decode(r)?,
+            }),
+            9 => Ok(EventKind::BreakerProbe),
             _ => Err(DecodeError::Invalid),
         }
     }
@@ -233,14 +270,14 @@ mod tests {
 
     #[test]
     fn kind_reports_cycle() {
-        assert_eq!(EventKind::RetrainDone { cycle: 7 }.cycle(), 7);
+        assert_eq!(EventKind::RetrainDone { cycle: 7 }.cycle(), Some(7));
         assert_eq!(
             EventKind::HitAnswered {
                 cycle: 3,
                 hit: HitId(9)
             }
             .cycle(),
-            3
+            Some(3)
         );
         assert_eq!(
             EventKind::LateAnswer {
@@ -248,8 +285,11 @@ mod tests {
                 hit: HitId(2)
             }
             .cycle(),
-            4
+            Some(4)
         );
+        assert_eq!(EventKind::FaultStart { episode: 0 }.cycle(), None);
+        assert_eq!(EventKind::FaultEnd { episode: 1 }.cycle(), None);
+        assert_eq!(EventKind::BreakerProbe.cycle(), None);
     }
 
     #[test]
@@ -274,6 +314,9 @@ mod tests {
                 cycle: 7,
                 hit: HitId(13),
             },
+            EventKind::FaultStart { episode: 0 },
+            EventKind::FaultEnd { episode: 1 },
+            EventKind::BreakerProbe,
         ];
         for (seq, kind) in kinds.into_iter().enumerate() {
             let event = Event {
@@ -284,5 +327,11 @@ mod tests {
             assert_eq!(Event::from_bytes(&event.to_bytes()), Ok(event));
         }
         assert_eq!(Event::from_bytes(&[7u8]), Err(DecodeError::Truncated));
+        // The first unused tag decodes to a typed error, not a panic.
+        let mut bad = Vec::new();
+        1.5f64.encode(&mut bad);
+        0u64.encode(&mut bad);
+        10u8.encode(&mut bad);
+        assert_eq!(Event::from_bytes(&bad), Err(DecodeError::Invalid));
     }
 }

@@ -24,6 +24,10 @@ pub struct InFlightHit {
     pub posted_at_secs: f64,
     /// 1 for the original post, +1 per repost.
     pub attempt: u32,
+    /// Whether fault injection lost this attempt: the workers will never
+    /// answer, and only the timeout path can retire the HIT (see
+    /// [`crate::FaultEpisode::AnswerLoss`]).
+    pub lost: bool,
     /// The platform's pending answer.
     pub pending: PendingHit,
 }
@@ -47,6 +51,10 @@ impl HitBoard {
     }
 
     /// Registers a newly posted HIT and returns its id.
+    // Eight arguments: the full identity of a posted attempt (the `lost`
+    // flag pushed it past clippy's limit); a builder would move the same
+    // fields one call away without making any of them optional.
+    #[allow(clippy::too_many_arguments)]
     pub fn post(
         &mut self,
         cycle: usize,
@@ -54,6 +62,7 @@ impl HitBoard {
         incentive: IncentiveLevel,
         posted_at_secs: f64,
         attempt: u32,
+        lost: bool,
         pending: PendingHit,
     ) -> HitId {
         let id = HitId(self.next_id);
@@ -67,6 +76,7 @@ impl HitBoard {
                 incentive,
                 posted_at_secs,
                 attempt,
+                lost,
                 pending,
             },
         );
@@ -136,6 +146,7 @@ impl Encode for InFlightHit {
         self.incentive.encode(out);
         self.posted_at_secs.encode(out);
         self.attempt.encode(out);
+        self.lost.encode(out);
         self.pending.encode(out);
     }
 }
@@ -149,6 +160,7 @@ impl Decode for InFlightHit {
             incentive: IncentiveLevel::decode(r)?,
             posted_at_secs: f64::decode(r)?,
             attempt: u32::decode(r)?,
+            lost: bool::decode(r)?,
             pending: PendingHit::decode(r)?,
         };
         if !hit.posted_at_secs.is_finite() || hit.posted_at_secs < 0.0 || hit.attempt < 1 {
@@ -209,8 +221,8 @@ mod tests {
     #[test]
     fn ids_are_sequential_and_peak_tracks() {
         let mut board = HitBoard::new();
-        let a = board.post(0, 1, IncentiveLevel::C6, 0.0, 1, pending());
-        let b = board.post(0, 2, IncentiveLevel::C6, 1.0, 1, pending());
+        let a = board.post(0, 1, IncentiveLevel::C6, 0.0, 1, false, pending());
+        let b = board.post(0, 2, IncentiveLevel::C6, 1.0, 1, false, pending());
         assert_eq!((a, b), (HitId(0), HitId(1)));
         assert_eq!(board.in_flight(), 2);
         board.take(a);
@@ -223,7 +235,7 @@ mod tests {
     #[should_panic(expected = "resolved twice")]
     fn double_take_panics() {
         let mut board = HitBoard::new();
-        let id = board.post(0, 0, IncentiveLevel::C1, 0.0, 1, pending());
+        let id = board.post(0, 0, IncentiveLevel::C1, 0.0, 1, false, pending());
         board.take(id);
         board.take(id);
     }
@@ -231,7 +243,7 @@ mod tests {
     #[test]
     fn reinstate_restores_the_same_id() {
         let mut board = HitBoard::new();
-        let id = board.post(2, 5, IncentiveLevel::C8, 30.0, 1, pending());
+        let id = board.post(2, 5, IncentiveLevel::C8, 30.0, 1, false, pending());
         let hit = board.take(id);
         assert_eq!(board.in_flight(), 0);
         board.reinstate(hit);
@@ -246,7 +258,7 @@ mod tests {
     #[should_panic(expected = "already in flight")]
     fn reinstate_of_live_hit_panics() {
         let mut board = HitBoard::new();
-        let id = board.post(0, 0, IncentiveLevel::C1, 0.0, 1, pending());
+        let id = board.post(0, 0, IncentiveLevel::C1, 0.0, 1, false, pending());
         let copy = InFlightHit {
             pending: pending(),
             ..board.take(id)
@@ -260,6 +272,7 @@ mod tests {
             incentive: IncentiveLevel::C1,
             posted_at_secs: 0.0,
             attempt: 1,
+            lost: false,
         };
         board.reinstate(dup);
     }
@@ -267,9 +280,9 @@ mod tests {
     #[test]
     fn codec_round_trips_the_board() {
         let mut board = HitBoard::new();
-        board.post(0, 1, IncentiveLevel::C6, 0.0, 1, pending());
-        let gone = board.post(1, 2, IncentiveLevel::C10, 12.5, 2, pending());
-        board.post(2, 3, IncentiveLevel::C2, 40.0, 1, pending());
+        board.post(0, 1, IncentiveLevel::C6, 0.0, 1, false, pending());
+        let gone = board.post(1, 2, IncentiveLevel::C10, 12.5, 2, false, pending());
+        board.post(2, 3, IncentiveLevel::C2, 40.0, 1, false, pending());
         board.take(gone);
 
         let back = HitBoard::from_bytes(&board.to_bytes()).expect("round trip");

@@ -14,9 +14,10 @@
 //! - [`EventQueue`] — a binary-heap queue of typed [`Event`]s ordered by
 //!   `(due time, scheduling order)`, so simultaneous events resolve
 //!   deterministically.
-//! - [`EventKind`] — the seven-event vocabulary of the loop: cycle
-//!   arrivals, inference completions, HIT postings/answers/timeouts,
-//!   late answers of waited-out HITs, retrain completions.
+//! - [`EventKind`] — the event vocabulary of the loop: cycle arrivals,
+//!   inference completions, HIT postings/answers/timeouts, late answers
+//!   of waited-out HITs, retrain completions, fault-episode boundaries,
+//!   and breaker probes.
 //! - [`HitBoard`] — the in-flight HIT table with its high-water mark.
 //! - [`PipelinedSystem`] — the CrowdLearn modules (QSS/IPD/CQC/MIC)
 //!   re-driven as event handlers over the reentrant cycle stages the core
@@ -41,6 +42,14 @@
 //!   into per-shard quotas by an [`ArbitrationPolicy`]). The whole fleet
 //!   checkpoints into a [`FleetSnapshot`]; a 1-shard fleet is
 //!   byte-identical to the bare pipelined runtime (`tests/determinism.rs`).
+//! - [`FaultPlan`] / [`FaultInjector`] — deterministic fault injection: a
+//!   seeded, virtual-time schedule of typed [`FaultEpisode`]s (platform
+//!   outages, worker attrition, answer loss, budget shocks) consulted by
+//!   the driver at event boundaries, answered with a crowd-path circuit
+//!   breaker ([`BreakerState`], tuned by [`BreakerConfig`]) and a
+//!   degradation ladder down to AI-only labeling — an empty plan is
+//!   byte-identical to a run with no fault machinery at all (DESIGN.md
+//!   "Fault model & degradation ladder").
 //! - [`MetricsTap`] — a deterministic streaming-metrics sink fed by the
 //!   driver at every event boundary: rolling crowd-delay quantiles (overall
 //!   and per temporal context), spend pacing against the budget ledger,
@@ -68,6 +77,7 @@
 mod clock;
 mod config;
 mod event;
+mod faults;
 mod fleet;
 mod hit;
 mod metrics;
@@ -79,6 +89,7 @@ mod sweep;
 pub use clock::VirtualClock;
 pub use config::{RuntimeConfig, WindowPolicy};
 pub use event::{Event, EventKind};
+pub use faults::{BreakerConfig, BreakerState, FaultEpisode, FaultInjector, FaultPlan};
 pub use fleet::{
     ArbitrationPolicy, ContentionStats, FleetConfig, FleetLedger, FleetOrchestrator, FleetReport,
     FleetSnapshot, FleetSnapshotError, ShardSpec, TapGridMismatch, FLEET_SNAPSHOT_FORMAT_VERSION,

@@ -13,6 +13,7 @@
 //! tap state has `Encode`/`Decode` codecs and rides inside the runtime
 //! snapshot, so a resumed run replays the identical metric stream.
 
+use crate::faults::BreakerState;
 use crate::HitId;
 use crowdlearn_crowd::IncentiveLevel;
 use crowdlearn_dataset::TemporalContext;
@@ -122,6 +123,41 @@ pub enum MetricKind {
         cents: u32,
         /// Evaluation budget remaining after the charge, in cents.
         remaining_budget_cents: f64,
+    },
+    /// A query's crowd resolution was given up: the HIT ran out of posting
+    /// attempts (or its answer was lost to fault injection) and no further
+    /// repost will be tried. Degraded runs audit these to account for every
+    /// posted attempt.
+    HitAbandoned {
+        /// Cycle index.
+        cycle: usize,
+        /// The abandoned HIT.
+        hit: HitId,
+        /// Posting attempts consumed, counting the original post.
+        attempts: u32,
+    },
+    /// A scheduled fault episode began (see [`crate::FaultPlan`]).
+    FaultStarted {
+        /// Index of the episode in the plan.
+        episode: usize,
+    },
+    /// A scheduled fault episode ended.
+    FaultEnded {
+        /// Index of the episode in the plan.
+        episode: usize,
+    },
+    /// The crowd-path circuit breaker moved between typed states.
+    BreakerTransition {
+        /// State before the transition.
+        from: BreakerState,
+        /// State after the transition.
+        to: BreakerState,
+    },
+    /// A cycle fell back to AI-only labeling (committee vote, no HIT spend)
+    /// because the breaker was open when its crowd phase would have begun.
+    DegradedCycle {
+        /// Cycle index.
+        cycle: usize,
     },
 }
 
@@ -249,6 +285,11 @@ pub struct MetricsTap {
     peak_hits_in_flight: usize,
     delay_all: QuantileSketch,
     delay_by_context: Vec<QuantileSketch>,
+    hits_abandoned: u64,
+    faults_started: u64,
+    faults_ended: u64,
+    breaker_transitions: u64,
+    degraded_cycles: u64,
 }
 
 impl MetricsTap {
@@ -288,6 +329,11 @@ impl MetricsTap {
             peak_hits_in_flight: 0,
             delay_all: sketch(),
             delay_by_context: (0..TemporalContext::COUNT).map(|_| sketch()).collect(),
+            hits_abandoned: 0,
+            faults_started: 0,
+            faults_ended: 0,
+            breaker_transitions: 0,
+            degraded_cycles: 0,
         }
     }
 
@@ -403,6 +449,33 @@ impl MetricsTap {
     pub fn peak_hits_in_flight(&self) -> usize {
         self.peak_hits_in_flight
     }
+
+    /// HITs whose crowd resolution was given up (out of attempts, or a
+    /// fault-lost answer) so far.
+    pub fn hits_abandoned(&self) -> u64 {
+        self.hits_abandoned
+    }
+
+    /// Fault episodes that have taken effect so far.
+    pub fn faults_started(&self) -> u64 {
+        self.faults_started
+    }
+
+    /// Fault episodes that have ended so far (instantaneous episodes never
+    /// emit an end).
+    pub fn faults_ended(&self) -> u64 {
+        self.faults_ended
+    }
+
+    /// Circuit-breaker state transitions so far.
+    pub fn breaker_transitions(&self) -> u64 {
+        self.breaker_transitions
+    }
+
+    /// Cycles that fell back to AI-only labeling so far.
+    pub fn degraded_cycles(&self) -> u64 {
+        self.degraded_cycles
+    }
 }
 
 impl Default for MetricsTap {
@@ -456,6 +529,11 @@ impl MetricsSink for MetricsTap {
                 self.spent_cents += u64::from(cents);
                 self.remaining_budget_cents = Some(remaining_budget_cents);
             }
+            MetricKind::HitAbandoned { .. } => self.hits_abandoned += 1,
+            MetricKind::FaultStarted { .. } => self.faults_started += 1,
+            MetricKind::FaultEnded { .. } => self.faults_ended += 1,
+            MetricKind::BreakerTransition { .. } => self.breaker_transitions += 1,
+            MetricKind::DegradedCycle { .. } => self.degraded_cycles += 1,
         }
     }
 }
@@ -486,6 +564,11 @@ impl Encode for MetricsTap {
         self.peak_hits_in_flight.encode(out);
         self.delay_all.encode(out);
         self.delay_by_context.encode(out);
+        self.hits_abandoned.encode(out);
+        self.faults_started.encode(out);
+        self.faults_ended.encode(out);
+        self.breaker_transitions.encode(out);
+        self.degraded_cycles.encode(out);
     }
 }
 
@@ -514,6 +597,11 @@ impl Decode for MetricsTap {
             peak_hits_in_flight: usize::decode(r)?,
             delay_all: QuantileSketch::decode(r)?,
             delay_by_context: Vec::<QuantileSketch>::decode(r)?,
+            hits_abandoned: u64::decode(r)?,
+            faults_started: u64::decode(r)?,
+            faults_ended: u64::decode(r)?,
+            breaker_transitions: u64::decode(r)?,
+            degraded_cycles: u64::decode(r)?,
         };
         let gauges_ok = tap.last_at_secs.is_finite()
             && tap.last_at_secs >= 0.0
@@ -533,7 +621,10 @@ impl Decode for MetricsTap {
                 == tap.delay_all.len();
         let counters_ok = tap.timely_answers <= tap.hits_answered
             && tap.hits_reposted <= tap.hits_timed_out
-            && tap.cycles_closed <= tap.cycles_admitted;
+            && tap.cycles_closed <= tap.cycles_admitted
+            && tap.hits_abandoned <= tap.hits_timed_out
+            && tap.faults_ended <= tap.faults_started
+            && tap.degraded_cycles <= tap.cycles_admitted;
         if !gauges_ok || !sketches_ok || !counters_ok {
             return Err(DecodeError::Invalid);
         }
@@ -631,6 +722,62 @@ mod tests {
         // A delay-count/counter mismatch is rejected.
         let mut tampered = tap.clone();
         tampered.hits_answered += 1;
+        let mut bytes = Vec::new();
+        tampered.encode(&mut bytes);
+        assert_eq!(
+            MetricsTap::decode(&mut Reader::new(&bytes)),
+            Err(DecodeError::Invalid)
+        );
+    }
+
+    #[test]
+    fn fault_events_fold_into_their_counters() {
+        let mut tap = MetricsTap::new();
+        // An abandoned HIT follows its own timeout.
+        tap.record(&record(
+            50.0,
+            MetricKind::HitTimedOut {
+                cycle: 0,
+                hit: HitId(3),
+                incentive: IncentiveLevel::C4,
+                censored_delay_secs: 150.0,
+            },
+        ));
+        tap.record(&record(
+            50.0,
+            MetricKind::HitAbandoned {
+                cycle: 0,
+                hit: HitId(3),
+                attempts: 2,
+            },
+        ));
+        tap.record(&record(60.0, MetricKind::FaultStarted { episode: 0 }));
+        tap.record(&record(
+            60.0,
+            MetricKind::BreakerTransition {
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+            },
+        ));
+        tap.record(&record(61.0, MetricKind::CycleAdmitted { cycle: 1 }));
+        tap.record(&record(61.0, MetricKind::DegradedCycle { cycle: 1 }));
+        tap.record(&record(90.0, MetricKind::FaultEnded { episode: 0 }));
+        assert_eq!(tap.hits_abandoned(), 1);
+        assert_eq!(tap.faults_started(), 1);
+        assert_eq!(tap.faults_ended(), 1);
+        assert_eq!(tap.breaker_transitions(), 1);
+        assert_eq!(tap.degraded_cycles(), 1);
+
+        // The whole state round-trips, and an impossible counter pair
+        // (more ends than starts) is rejected on the wire.
+        let mut bytes = Vec::new();
+        tap.encode(&mut bytes);
+        assert_eq!(
+            MetricsTap::decode(&mut Reader::new(&bytes)),
+            Ok(tap.clone())
+        );
+        let mut tampered = tap;
+        tampered.faults_ended += 1;
         let mut bytes = Vec::new();
         tampered.encode(&mut bytes);
         assert_eq!(

@@ -1,6 +1,7 @@
 //! The pipelined CrowdLearn system: the paper's closed loop re-driven as a
 //! discrete-event simulation so crowd waits overlap computation.
 
+use crate::faults::{BreakerState, FaultEpisode, FaultInjector};
 use crate::fleet::FleetHook;
 use crate::{
     EventKind, EventQueue, HitBoard, HitId, MetricKind, MetricRecord, MetricsSink, MetricsTap,
@@ -36,6 +37,14 @@ pub struct RuntimeReport {
     pub timeouts: u64,
     /// Timed-out HITs that were reposted.
     pub reposts: u64,
+    /// HIT posts and reposts the crowd path refused while unavailable
+    /// (breaker open or a platform outage active). Zero on a fault-free
+    /// run.
+    pub posts_rejected: u64,
+    /// Cycles that fell back to AI-only labeling while the breaker was
+    /// open (the degradation ladder's bottom rung). Zero on a fault-free
+    /// run.
+    pub degraded_cycles: u64,
     /// The run's streaming metrics, when a [`MetricsTap`] was attached
     /// (via [`PipelinedSystem::attach_metrics_tap`]) for the whole run.
     /// Always `Some` under an adaptive window policy — the controller
@@ -243,6 +252,21 @@ impl PipelinedSystem {
         self.exec.as_ref().map(|e| e.last_window_decision)
     }
 
+    /// The crowd-path circuit breaker's current state, or `None` when no
+    /// execution is in progress. `Closed` on every fault-free run; poll
+    /// between [`PipelinedSystem::run_until`] slices to watch the
+    /// degradation ladder engage under a [`crate::FaultPlan`].
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.exec.as_ref().map(|e| e.breaker)
+    }
+
+    /// Cycles currently parked mid-crowd behind an open breaker, waiting
+    /// for recovery to resume posting; `None` when no execution is in
+    /// progress.
+    pub fn parked_cycles(&self) -> Option<usize> {
+        self.exec.as_ref().map(|e| e.parked.len())
+    }
+
     /// Processes the next event. Returns `false` when the event queue has
     /// drained — the execution is complete and the next
     /// [`PipelinedSystem::run_until`] (or [`PipelinedSystem::run`]) call
@@ -284,7 +308,7 @@ impl PipelinedSystem {
         exec.clock.advance_to(event.at_secs);
         Driver {
             system: &mut self.system,
-            config: self.config,
+            config: &self.config,
             dataset,
             cycles: stream.cycles(),
             exec,
@@ -393,6 +417,7 @@ impl PipelinedSystem {
             .take()
             .expect("invariant: finish() only follows a drained execution");
         assert!(exec.waiting.is_empty(), "cycles left waiting at drain");
+        assert!(exec.parked.is_empty(), "cycles left parked at drain");
         assert_eq!(exec.board.in_flight(), 0, "HITs left in flight at drain");
         let outcomes: Vec<CycleOutcome> = exec
             .outcomes
@@ -416,6 +441,8 @@ impl PipelinedSystem {
             peak_hits_in_flight: exec.board.peak_in_flight(),
             timeouts: exec.timeouts,
             reposts: exec.reposts,
+            posts_rejected: exec.posts_rejected,
+            degraded_cycles: exec.degraded_cycles,
             metrics: self.tap.take(),
             window_trajectory: exec.window_trajectory,
         }
@@ -498,10 +525,30 @@ struct ExecState {
     peak_cycles_in_flight: usize,
     timeouts: u64,
     reposts: u64,
+    /// The run's fault injector: the configured plan plus the live
+    /// position of its dedicated loss stream.
+    injector: FaultInjector,
+    /// The crowd-path circuit breaker (see DESIGN.md "Fault model &
+    /// degradation ladder"). `Closed` for the whole of a fault-free run.
+    breaker: BreakerState,
+    /// The breaker's current probe backoff, in cycle periods: reset to the
+    /// configured base on recovery, doubled (up to the ceiling) on every
+    /// failed probe.
+    breaker_backoff_cycles: u32,
+    /// Cycles parked mid-crowd behind an open breaker, in park order; the
+    /// probe that closes the breaker re-enters them into posting.
+    parked: VecDeque<usize>,
+    /// Posts and reposts refused while the crowd path was unavailable.
+    posts_rejected: u64,
+    /// Cycles that degraded to AI-only labeling.
+    degraded_cycles: u64,
 }
 
 impl ExecState {
-    /// A fresh execution: every cycle's arrival scheduled on the cadence.
+    /// A fresh execution: every cycle's arrival scheduled on the cadence,
+    /// plus the fault plan's episode boundaries. An empty plan schedules
+    /// nothing extra, so its event sequence — and therefore the whole run —
+    /// is byte-identical to one with no fault machinery at all.
     fn start(config: &RuntimeConfig, n_cycles: usize) -> Self {
         let mut queue = EventQueue::new();
         for k in 0..n_cycles {
@@ -509,6 +556,12 @@ impl ExecState {
                 k as f64 * config.cycle_period_secs,
                 EventKind::CycleArrival { cycle: k },
             );
+        }
+        for (i, episode) in config.faults.episodes().iter().enumerate() {
+            queue.schedule(episode.start_secs(), EventKind::FaultStart { episode: i });
+            if let Some(until) = episode.end_secs() {
+                queue.schedule(until, EventKind::FaultEnd { episode: i });
+            }
         }
         Self {
             clock: VirtualClock::new(),
@@ -527,6 +580,12 @@ impl ExecState {
             peak_cycles_in_flight: 0,
             timeouts: 0,
             reposts: 0,
+            injector: FaultInjector::new(config.faults.clone()),
+            breaker: BreakerState::Closed,
+            breaker_backoff_cycles: config.breaker.base_backoff_cycles,
+            parked: VecDeque::new(),
+            posts_rejected: 0,
+            degraded_cycles: 0,
         }
     }
 }
@@ -549,6 +608,12 @@ impl Encode for ExecState {
         self.peak_cycles_in_flight.encode(out);
         self.timeouts.encode(out);
         self.reposts.encode(out);
+        self.injector.encode(out);
+        self.breaker.encode(out);
+        self.breaker_backoff_cycles.encode(out);
+        self.parked.encode(out);
+        self.posts_rejected.encode(out);
+        self.degraded_cycles.encode(out);
     }
 }
 
@@ -571,16 +636,27 @@ impl Decode for ExecState {
             peak_cycles_in_flight: usize::decode(r)?,
             timeouts: u64::decode(r)?,
             reposts: u64::decode(r)?,
+            injector: FaultInjector::decode(r)?,
+            breaker: BreakerState::decode(r)?,
+            breaker_backoff_cycles: u32::decode(r)?,
+            parked: VecDeque::<usize>::decode(r)?,
+            posts_rejected: u64::decode(r)?,
+            degraded_cycles: u64::decode(r)?,
         };
         let n = state.outcomes.len();
         let cycle_indices_in_range = state.active.keys().all(|&k| k < n)
             && state.waiting.iter().all(|&k| k < n)
+            && state.parked.iter().all(|&k| k < n)
             && state.completed_at_secs.len() == n;
         let window_ok = state.window >= 1
             && state.window_trajectory.len() <= n
             && state.window_trajectory.iter().all(|&w| w >= 1);
+        let breaker_ok = state.breaker_backoff_cycles >= 1
+            && (state.breaker == BreakerState::Closed || state.parked.len() <= n)
+            && (state.breaker != BreakerState::Closed || state.parked.is_empty());
         if !cycle_indices_in_range
             || !window_ok
+            || !breaker_ok
             || state.peak_cycles_in_flight < state.active.len()
             || state
                 .completed_at_secs
@@ -598,7 +674,7 @@ impl Decode for ExecState {
 /// can pause (and snapshot) between any two events.
 struct Driver<'a> {
     system: &'a mut CrowdLearnSystem,
-    config: RuntimeConfig,
+    config: &'a RuntimeConfig,
     dataset: &'a Dataset,
     cycles: &'a [SensingCycle],
     exec: &'a mut ExecState,
@@ -681,6 +757,86 @@ impl Driver<'_> {
                 self.exec.window_trajectory.push(self.exec.window);
                 self.try_admit();
             }
+            EventKind::FaultStart { episode } => self.on_fault_start(episode),
+            EventKind::FaultEnd { episode } => self.emit(MetricKind::FaultEnded { episode }),
+            EventKind::BreakerProbe => self.on_breaker_probe(),
+        }
+    }
+
+    /// A fault episode takes effect. Windowed episodes act through the
+    /// injector's time queries, so the event only announces them; the
+    /// instantaneous [`FaultEpisode::BudgetShock`] lands here, clawing its
+    /// cents back from the incentive ledger.
+    fn on_fault_start(&mut self, episode: usize) {
+        let kind = *self
+            .exec
+            .injector
+            .plan()
+            .episodes()
+            .get(episode)
+            .expect("invariant: fault events only reference plan episodes");
+        if let FaultEpisode::BudgetShock { cents, .. } = kind {
+            self.system.clawback_budget_cents(cents);
+        }
+        self.emit(MetricKind::FaultStarted { episode });
+    }
+
+    /// The first refused post while `Closed` trips the breaker: crowd
+    /// posting stops, and a probe is scheduled after the current backoff.
+    fn trip_breaker(&mut self, now: f64) {
+        if self.exec.breaker != BreakerState::Closed {
+            return;
+        }
+        self.exec.breaker = BreakerState::Open;
+        self.emit(MetricKind::BreakerTransition {
+            from: BreakerState::Closed,
+            to: BreakerState::Open,
+        });
+        self.schedule_probe(now);
+    }
+
+    fn schedule_probe(&mut self, now: f64) {
+        let backoff = f64::from(self.exec.breaker_backoff_cycles) * self.config.cycle_period_secs;
+        self.exec
+            .queue
+            .schedule(now + backoff, EventKind::BreakerProbe);
+    }
+
+    /// The scheduled probe fires: the breaker passes through `HalfProbe`
+    /// and either closes (recovery — the backoff resets and parked cycles
+    /// resume posting) or re-opens with doubled backoff. Exactly one probe
+    /// is in flight whenever the breaker is not `Closed`, and every outage
+    /// window ends at a finite virtual time, so the machine cannot stall.
+    fn on_breaker_probe(&mut self) {
+        let now = self.exec.clock.now_secs();
+        debug_assert_eq!(self.exec.breaker, BreakerState::Open);
+        self.exec.breaker = BreakerState::HalfProbe;
+        self.emit(MetricKind::BreakerTransition {
+            from: BreakerState::Open,
+            to: BreakerState::HalfProbe,
+        });
+        if self.exec.injector.outage_active(now) {
+            self.exec.breaker = BreakerState::Open;
+            self.emit(MetricKind::BreakerTransition {
+                from: BreakerState::HalfProbe,
+                to: BreakerState::Open,
+            });
+            self.exec.breaker_backoff_cycles = self
+                .exec
+                .breaker_backoff_cycles
+                .saturating_mul(2)
+                .min(self.config.breaker.max_backoff_cycles);
+            self.schedule_probe(now);
+            return;
+        }
+        self.exec.breaker = BreakerState::Closed;
+        self.emit(MetricKind::BreakerTransition {
+            from: BreakerState::HalfProbe,
+            to: BreakerState::Closed,
+        });
+        self.exec.breaker_backoff_cycles = self.config.breaker.base_backoff_cycles;
+        while let Some(k) = self.exec.parked.pop_front() {
+            self.post_or_finalize(k);
         }
     }
 
@@ -767,9 +923,16 @@ impl Driver<'_> {
     }
 
     /// Posts cycle `k`'s next query, or — when nothing is left to post and
-    /// nothing is outstanding — closes the cycle out.
+    /// nothing is outstanding — closes the cycle out. When the crowd path
+    /// is unavailable (breaker not `Closed`, or a platform outage covers
+    /// this instant) the degradation ladder takes over instead:
+    /// [`Driver::degrade_or_park`].
     fn post_or_finalize(&mut self, k: usize) {
         let now = self.exec.clock.now_secs();
+        if self.exec.breaker != BreakerState::Closed || self.exec.injector.outage_active(now) {
+            self.degrade_or_park(k, now);
+            return;
+        }
         let work = self
             .exec
             .active
@@ -783,13 +946,25 @@ impl Driver<'_> {
                 if let Some(hook) = self.fleet.as_mut() {
                     hook.absorb_post(now, &mut posted);
                 }
+                let lost = self.exec.injector.answer_lost(now);
+                let factor = self.exec.injector.attrition_factor(now);
+                if factor > 1.0 {
+                    posted
+                        .pending
+                        .defer_by(posted.pending.completion_delay_secs() * (factor - 1.0));
+                }
                 let delay = posted.pending.completion_delay_secs();
                 let incentive = posted.incentive;
-                let hit =
-                    self.exec
-                        .board
-                        .post(k, posted.image_index, incentive, now, 1, posted.pending);
-                self.schedule_hit_events(k, hit, now, delay);
+                let hit = self.exec.board.post(
+                    k,
+                    posted.image_index,
+                    incentive,
+                    now,
+                    1,
+                    lost,
+                    posted.pending,
+                );
+                self.schedule_hit_events(k, hit, now, delay, lost);
                 self.emit(MetricKind::HitPosted {
                     cycle: k,
                     hit,
@@ -808,16 +983,85 @@ impl Driver<'_> {
         }
     }
 
+    /// The degradation ladder at a would-post boundary while the crowd
+    /// path is unavailable. The first refusal trips the breaker; then the
+    /// cycle takes the highest rung it can reach:
+    ///
+    /// 1. posting already finished — drain normally (and wait out any
+    ///    in-flight answer exactly as a healthy run would);
+    /// 2. an answer is still in flight — wait; its absorption re-enters
+    ///    this ladder;
+    /// 3. the crowd was never consulted — degrade to AI-only labeling:
+    ///    `finalize_cycle` labels every image from the committee vote, no
+    ///    HIT is posted, no budget spent;
+    /// 4. otherwise the cycle is mid-crowd — park it; the probe that
+    ///    closes the breaker re-posts its remaining queries through the
+    ///    existing escalation machinery.
+    fn degrade_or_park(&mut self, k: usize, now: f64) {
+        self.trip_breaker(now);
+        let work = self
+            .exec
+            .active
+            .get(&k)
+            .expect("invariant: HIT events only target active cycles");
+        let posting_done = work.posting_done();
+        let outstanding = work.outstanding();
+        let untouched = work.spent_cents() == 0 && work.answers_absorbed() == 0;
+        if posting_done {
+            // Nothing further would have posted: this is the normal drain
+            // check, not a refused post.
+            if outstanding == 0 {
+                self.exec
+                    .queue
+                    .schedule(now, EventKind::RetrainDone { cycle: k });
+            }
+            return;
+        }
+        self.exec.posts_rejected += 1;
+        if outstanding > 0 {
+            return;
+        }
+        if untouched {
+            self.exec.degraded_cycles += 1;
+            self.emit(MetricKind::DegradedCycle { cycle: k });
+            self.exec
+                .queue
+                .schedule(now, EventKind::RetrainDone { cycle: k });
+            return;
+        }
+        self.exec.parked.push_back(k);
+    }
+
     /// Emits the `HitPosted` marker and schedules the HIT's resolution:
     /// `HitAnswered` when every worker *beats* the timeout (`delay <
     /// timeout`), `HitTimedOut` otherwise — an answer landing exactly at
     /// the timeout instant is censored, matching the IPD contract's
     /// "delay >= timeout" (`CrowdLearnSystem::observe_crowd_delay`).
-    /// Exactly one resolution event is scheduled per posted HIT.
-    fn schedule_hit_events(&mut self, k: usize, hit: HitId, posted_at: f64, delay: f64) {
+    /// A `lost` attempt ([`FaultEpisode::AnswerLoss`]) never answers at
+    /// all, so only its timeout is scheduled. Exactly one resolution event
+    /// is scheduled per posted HIT.
+    fn schedule_hit_events(
+        &mut self,
+        k: usize,
+        hit: HitId,
+        posted_at: f64,
+        delay: f64,
+        lost: bool,
+    ) {
         self.exec
             .queue
             .schedule(posted_at, EventKind::HitPosted { cycle: k, hit });
+        if lost {
+            let timeout = self
+                .config
+                .hit_timeout_secs
+                .expect("invariant: an AnswerLoss plan requires a configured HIT timeout");
+            self.exec.queue.schedule(
+                posted_at + timeout,
+                EventKind::HitTimedOut { cycle: k, hit },
+            );
+            return;
+        }
         match self.config.hit_timeout_secs {
             Some(timeout) if delay >= timeout => self.exec.queue.schedule(
                 posted_at + timeout,
@@ -854,14 +1098,18 @@ impl Driver<'_> {
         self.post_or_finalize(k);
     }
 
-    /// A HIT expired. If attempts and budget allow, repost it at an
-    /// escalated incentive. Either way the expired attempt feeds IPD a
-    /// censored delay observation — all we learned *at the timeout* is
-    /// "longer than the timeout" — so every posted attempt produces exactly
-    /// one IPD observation. When the HIT is not reposted it is waited out:
-    /// its workers still answer at the attempt's true completion time, so a
-    /// `LateAnswer` is scheduled there rather than absorbing the answer at
-    /// the timeout instant.
+    /// A HIT expired. If attempts, budget, and the crowd path allow,
+    /// repost it at an escalated incentive. Either way the expired attempt
+    /// feeds IPD a censored delay observation — all we learned *at the
+    /// timeout* is "longer than the timeout" — so every posted attempt
+    /// produces exactly one IPD observation. When the HIT is not reposted
+    /// it is abandoned (emitting [`MetricKind::HitAbandoned`] with the
+    /// attempt count) and one of two things happens: a *lost* attempt
+    /// ([`FaultEpisode::AnswerLoss`]) has no answer coming, so its
+    /// outstanding slot is released and posting resumes immediately; a
+    /// live attempt is waited out — its workers still answer at the
+    /// attempt's true completion time, so a `LateAnswer` is scheduled
+    /// there rather than absorbing the answer at the timeout instant.
     fn on_timed_out(&mut self, k: usize, hit: HitId) {
         self.exec.timeouts += 1;
         let timeout = self
@@ -881,57 +1129,96 @@ impl Driver<'_> {
         });
 
         if inflight.attempt < self.config.max_post_attempts {
-            let level = if self.config.escalate_on_repost {
-                escalate(inflight.incentive)
+            let crowd_available =
+                self.exec.breaker == BreakerState::Closed && !self.exec.injector.outage_active(now);
+            if crowd_available {
+                let level = if self.config.escalate_on_repost {
+                    escalate(inflight.incentive)
+                } else {
+                    inflight.incentive
+                };
+                let work = self
+                    .exec
+                    .active
+                    .get_mut(&k)
+                    .expect("invariant: HIT events only target active cycles");
+                if let Some(mut posted) = self.system.repost_query(
+                    work,
+                    &self.cycles[k],
+                    self.dataset,
+                    inflight.image_index,
+                    level,
+                ) {
+                    if let Some(hook) = self.fleet.as_mut() {
+                        hook.absorb_post(now, &mut posted);
+                    }
+                    self.exec.reposts += 1;
+                    let lost = self.exec.injector.answer_lost(now);
+                    let factor = self.exec.injector.attrition_factor(now);
+                    if factor > 1.0 {
+                        posted
+                            .pending
+                            .defer_by(posted.pending.completion_delay_secs() * (factor - 1.0));
+                    }
+                    let delay = posted.pending.completion_delay_secs();
+                    let incentive = posted.incentive;
+                    let new_hit = self.exec.board.post(
+                        k,
+                        posted.image_index,
+                        incentive,
+                        now,
+                        inflight.attempt + 1,
+                        lost,
+                        posted.pending,
+                    );
+                    self.schedule_hit_events(k, new_hit, now, delay, lost);
+                    self.emit(MetricKind::HitReposted {
+                        cycle: k,
+                        hit: new_hit,
+                        incentive,
+                        attempt: inflight.attempt + 1,
+                    });
+                    self.emit_spend(k, incentive);
+                    return;
+                }
             } else {
-                inflight.incentive
-            };
+                // The repost was refused outright: count it, trip the
+                // breaker if this is the first refusal, and fall through
+                // to the abandon ladder below.
+                self.trip_breaker(now);
+                self.exec.posts_rejected += 1;
+            }
+        }
+
+        // Out of attempts, budget, or crowd path: the requester gives up
+        // on this query.
+        self.emit(MetricKind::HitAbandoned {
+            cycle: k,
+            hit,
+            attempts: inflight.attempt,
+        });
+        if inflight.lost {
+            // A lost attempt has no answer coming — ever. Release its
+            // outstanding slot so the cycle's query chain moves on; the
+            // unanswered image falls back to its AI label at finalize.
             let work = self
                 .exec
                 .active
                 .get_mut(&k)
                 .expect("invariant: HIT events only target active cycles");
-            if let Some(mut posted) = self.system.repost_query(
-                work,
-                &self.cycles[k],
-                self.dataset,
-                inflight.image_index,
-                level,
-            ) {
-                if let Some(hook) = self.fleet.as_mut() {
-                    hook.absorb_post(now, &mut posted);
-                }
-                self.exec.reposts += 1;
-                let delay = posted.pending.completion_delay_secs();
-                let incentive = posted.incentive;
-                let new_hit = self.exec.board.post(
-                    k,
-                    posted.image_index,
-                    incentive,
-                    now,
-                    inflight.attempt + 1,
-                    posted.pending,
-                );
-                self.schedule_hit_events(k, new_hit, now, delay);
-                self.emit(MetricKind::HitReposted {
-                    cycle: k,
-                    hit: new_hit,
-                    incentive,
-                    attempt: inflight.attempt + 1,
-                });
-                self.emit_spend(k, incentive);
-                return;
-            }
+            self.system.abandon_query(work);
+            self.post_or_finalize(k);
+            return;
         }
 
-        // Out of attempts (or budget): wait the expired HIT out after all.
-        // Its answer completes at `posted_at + delay` — at or after the
-        // timeout, since `HitTimedOut` is scheduled when the delay reaches
-        // the timeout — so absorption is deferred to a `LateAnswer` there
-        // instead of happening inside the timeout handler. At the exact
-        // boundary (`delay == timeout`) both events share a due time and
-        // the queue's scheduling-order tiebreak absorbs the late answer
-        // after this timeout, keeping the censor-then-absorb order.
+        // A live attempt is waited out after all. Its answer completes at
+        // `posted_at + delay` — at or after the timeout, since
+        // `HitTimedOut` is scheduled when the delay reaches the timeout —
+        // so absorption is deferred to a `LateAnswer` there instead of
+        // happening inside the timeout handler. At the exact boundary
+        // (`delay == timeout`) both events share a due time and the
+        // queue's scheduling-order tiebreak absorbs the late answer after
+        // this timeout, keeping the censor-then-absorb order.
         let due = inflight.posted_at_secs + inflight.pending.completion_delay_secs();
         let id = inflight.id;
         self.exec.board.reinstate(inflight);

@@ -162,7 +162,7 @@ mod tests {
         q.schedule(1.0, EventKind::CycleArrival { cycle: 1 });
         q.schedule(5.0, EventKind::CycleArrival { cycle: 2 });
         let order: Vec<usize> = std::iter::from_fn(|| q.pop())
-            .map(|e| e.kind.cycle())
+            .filter_map(|e| e.kind.cycle())
             .collect();
         assert_eq!(order, vec![1, 0, 2]);
     }
@@ -193,9 +193,9 @@ mod tests {
         assert!(q.peek().is_none());
         q.schedule(5.0, EventKind::CycleArrival { cycle: 0 });
         q.schedule(1.0, EventKind::CycleArrival { cycle: 1 });
-        assert_eq!(q.peek().map(|e| e.kind.cycle()), Some(1));
+        assert_eq!(q.peek().and_then(|e| e.kind.cycle()), Some(1));
         assert_eq!(q.len(), 2);
-        assert_eq!(q.pop().map(|e| e.kind.cycle()), Some(1));
+        assert_eq!(q.pop().and_then(|e| e.kind.cycle()), Some(1));
     }
 
     #[test]

@@ -39,8 +39,13 @@ const MAGIC: [u8; 8] = *b"CLSNAP\x00\x01";
 /// 4 — `RuntimeConfig` encodes a tagged `WindowPolicy` where the static
 /// window used to sit, and the execution state carries the window
 /// controller (effective window, cooldown counter, last decision, window
-/// trajectory).
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 4;
+/// trajectory);
+/// 5 — fault injection: `RuntimeConfig` carries the `FaultPlan` and
+/// `BreakerConfig`, the execution state carries the `FaultInjector`,
+/// breaker state/backoff, parked cycles, and rejection/degradation
+/// counters, each in-flight HIT carries its `lost` flag, and the metrics
+/// tap carries the abandonment/fault/breaker/degradation counters.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 5;
 
 /// Why a snapshot could not be produced or restored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -61,7 +61,7 @@ proptest! {
             queue.schedule(42.0, EventKind::CycleArrival { cycle });
         }
         let order: Vec<usize> = std::iter::from_fn(|| queue.pop())
-            .map(|e| e.kind.cycle())
+            .filter_map(|e| e.kind.cycle())
             .collect();
         prop_assert_eq!(order, cycles);
     }
@@ -90,7 +90,7 @@ proptest! {
             .with_inflight_window(window)
             .with_hit_timeout(with_timeout.then_some(timeout_secs), 3);
         let mut system =
-            PipelinedSystem::new(&dataset, small_config(seed, budget_cents), runtime);
+            PipelinedSystem::new(&dataset, small_config(seed, budget_cents), runtime.clone());
         let run = system.run(&dataset, &stream);
 
         // Backpressure: the window bounds cycle concurrency, and intra-cycle
@@ -119,5 +119,88 @@ proptest! {
         if run.timeouts > 0 {
             prop_assert!(run.reposts <= run.timeouts);
         }
+    }
+}
+
+proptest! {
+    // Each case boots and runs a full (small) system; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Conservation under arbitrary valid fault plans: every posted HIT
+    /// attempt feeds the incentive learner exactly one delay observation
+    /// (answered, censored-then-late, or censored-then-abandoned), every
+    /// cycle still finalizes, and the run terminates even when the breaker
+    /// opens with the in-flight window full — the drain assertions inside
+    /// the runtime (`finish`) make a stalled ladder a hard failure.
+    #[test]
+    fn faulted_runs_conserve_observations_and_terminate(
+        seed in 0u64..256,
+        plan_seed in 0u64..u64::MAX,
+        outage_from in 0.0f64..4000.0,
+        outage_len in 60.0f64..4000.0,
+        attrition_from in 0.0f64..4000.0,
+        attrition_fraction in 0.0f64..0.9,
+        loss_from in 0.0f64..4000.0,
+        loss_prob in 0.0f64..1.0,
+        shock_at in 0.0f64..4000.0,
+        shock_cents in 0.0f64..120.0,
+    ) {
+        use crowdlearn_runtime::{FaultEpisode, FaultPlan, MetricsTap};
+
+        let plan = FaultPlan::new(plan_seed, vec![
+            FaultEpisode::PlatformOutage {
+                from_secs: outage_from,
+                until_secs: outage_from + outage_len,
+            },
+            FaultEpisode::WorkerAttrition {
+                fraction: attrition_fraction,
+                from_secs: attrition_from,
+                until_secs: attrition_from + 1200.0,
+            },
+            FaultEpisode::AnswerLoss {
+                prob: loss_prob,
+                from_secs: loss_from,
+                until_secs: loss_from + 1800.0,
+            },
+            FaultEpisode::BudgetShock {
+                at_secs: shock_at,
+                cents: shock_cents,
+            },
+        ]);
+        let dataset = Dataset::generate(&DatasetConfig::paper().with_seed(seed ^ 0xfa));
+        let stream = SensingCycleStream::new(&dataset, 8, 5);
+        let runtime = RuntimeConfig::paper()
+            .with_inflight_window(3)
+            .with_hit_timeout(Some(150.0), 2)
+            .with_faults(plan);
+        let mut system =
+            PipelinedSystem::new(&dataset, small_config(seed, 120.0), runtime);
+        system.attach_metrics_tap(MetricsTap::new());
+        let observed_at_boot = system.system().delay_observations();
+        let run = system.run(&dataset, &stream);
+
+        // Completeness: the run drained (or `run` would have panicked on
+        // the parked/waiting/in-flight drain assertions), and every cycle
+        // finalized in order.
+        prop_assert_eq!(run.outcomes.len(), 8);
+        for (k, outcome) in run.outcomes.iter().enumerate() {
+            prop_assert_eq!(outcome.cycle, k);
+        }
+
+        // Conservation: posted attempts (first posts + reposts) map
+        // one-to-one onto delay observations.
+        let tap = run.metrics.as_ref().expect("tap was attached");
+        let attempts = tap.hits_posted() + tap.hits_reposted();
+        let observed = system.system().delay_observations() - observed_at_boot;
+        prop_assert_eq!(
+            observed, attempts,
+            "posted {} attempts but the learner saw {} observations",
+            attempts, observed
+        );
+
+        // The ladder's own accounting stays coherent.
+        prop_assert!(tap.hits_abandoned() <= tap.hits_timed_out());
+        prop_assert_eq!(tap.degraded_cycles(), run.degraded_cycles);
+        prop_assert!(run.degraded_cycles <= 8);
     }
 }

@@ -24,7 +24,7 @@ fn main() {
     let runtime = scenarios::demo_runtime();
 
     // Reference: one uninterrupted run.
-    let mut reference = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), runtime);
+    let mut reference = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), runtime.clone());
     let expected = reference.run(&dataset, &stream);
     println!(
         "reference run:   {} events, makespan {:.0} s, accuracy {:.3}",
@@ -34,7 +34,7 @@ fn main() {
     );
 
     // Interrupted run: stop halfway through the event stream...
-    let mut system = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), runtime);
+    let mut system = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), runtime.clone());
     let half = expected.events_processed / 2;
     let paused = system.run_until(&dataset, &stream, RunBound::Events(half));
     assert!(paused.is_none(), "half the events must not drain the queue");

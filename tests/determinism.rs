@@ -665,3 +665,331 @@ fn snapshots_reject_future_format_versions_with_typed_errors() {
         Err(FleetSnapshotError::VersionMismatch { found }) if found == future
     ));
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection: the empty-plan golden pin, faulted-run determinism, the
+// mid-outage checkpoint, per-shard fleet plans, and a seeded corruption
+// sweep over both snapshot codecs.
+// ---------------------------------------------------------------------------
+
+use crowdlearn_runtime::{BreakerConfig, BreakerState, FaultEpisode, FaultPlan};
+
+/// A mid-run fault scenario for the 8-cycle fixture (period 600 s): a
+/// platform outage across cycles 2-3, worker attrition through the
+/// recovery, answer losses near the tail, and a budget shock inside the
+/// outage.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::new(
+        0xFA017,
+        vec![
+            FaultEpisode::PlatformOutage {
+                from_secs: 900.0,
+                until_secs: 2_100.0,
+            },
+            FaultEpisode::WorkerAttrition {
+                fraction: 0.5,
+                from_secs: 2_100.0,
+                until_secs: 3_300.0,
+            },
+            FaultEpisode::AnswerLoss {
+                prob: 0.5,
+                from_secs: 3_300.0,
+                until_secs: 4_500.0,
+            },
+            FaultEpisode::BudgetShock {
+                at_secs: 1_500.0,
+                cents: 40.0,
+            },
+        ],
+    )
+}
+
+fn faulted_config() -> RuntimeConfig {
+    runtime_config().with_faults(fault_plan())
+}
+
+fn faulted_run(seed: u64) -> RuntimeReport {
+    let dataset = dataset(seed);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+    let mut system = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), faulted_config());
+    system.attach_metrics_tap(MetricsTap::new());
+    system.run(&dataset, &stream)
+}
+
+#[test]
+fn empty_fault_plan_is_byte_identical_to_the_default_config() {
+    // The golden pin for the fault machinery's zero-cost claim: a config
+    // that *names* a fault plan — nonzero seed, custom breaker tuning, but
+    // zero episodes — schedules no fault events and draws nothing, so the
+    // whole run renders byte-identically to the default config's.
+    let baseline = short_run(7);
+    let dataset = dataset(7);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+    let runtime = runtime_config()
+        .with_faults(FaultPlan::new(0xDEAD_BEEF, Vec::new()))
+        .with_breaker(BreakerConfig {
+            base_backoff_cycles: 2,
+            max_backoff_cycles: 32,
+        });
+    let mut system = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), runtime);
+    let report = system.run(&dataset, &stream);
+    assert_eq!(
+        format!("{report:?}"),
+        format!("{baseline:?}"),
+        "an empty fault plan must not perturb the run"
+    );
+    assert_eq!(report.posts_rejected, 0);
+    assert_eq!(report.degraded_cycles, 0);
+}
+
+#[test]
+fn faulted_same_seed_twice_is_byte_identical_and_the_ladder_engages() {
+    let (a, b) = (faulted_run(7), faulted_run(7));
+    assert_eq!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "two same-seed faulted runs rendered different reports"
+    );
+
+    // The scenario must actually bite: refused posts, degraded cycles, and
+    // a report that differs from the fault-free run.
+    assert!(a.posts_rejected > 0, "the outage must refuse posts");
+    assert!(a.degraded_cycles > 0, "some cycle must degrade to AI-only");
+    assert_ne!(
+        format!("{:?}", a.outcomes),
+        format!("{:?}", short_run(7).outcomes),
+        "the fault plan must perturb the run it covers"
+    );
+
+    // The metrics tap saw every transition: all four episodes started, the
+    // three windowed ones ended, and the breaker trip plus each probe's
+    // Open->HalfProbe->(Closed|Open) dance left at least three records.
+    let tap = a.metrics.as_ref().expect("tap was attached");
+    assert_eq!(tap.faults_started(), 4);
+    assert_eq!(tap.faults_ended(), 3);
+    assert!(tap.breaker_transitions() >= 3);
+    assert_eq!(tap.degraded_cycles(), a.degraded_cycles);
+    assert!(tap.hits_abandoned() <= tap.hits_timed_out());
+}
+
+#[test]
+fn mid_outage_checkpoint_resume_is_byte_identical() {
+    let baseline = faulted_run(7);
+    let dataset = dataset(7);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+
+    // Pause inside the outage window (900-2100 s), with the breaker open
+    // and cycles parked or degraded, and carry the whole degradation
+    // ladder through bytes.
+    let mut system = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), faulted_config());
+    system.attach_metrics_tap(MetricsTap::new());
+    let paused = system.run_until(&dataset, &stream, RunBound::VirtualTime(1_450.0));
+    assert!(paused.is_none(), "the run extends past the outage");
+    assert_eq!(
+        system.breaker_state(),
+        Some(BreakerState::Open),
+        "the checkpoint must land with the breaker open"
+    );
+
+    let bytes = system.snapshot().expect("checkpointable").to_bytes();
+    let snapshot = RuntimeSnapshot::from_bytes(&bytes).expect("frame validates");
+    let mut resumed = PipelinedSystem::resume(&snapshot, &stream).expect("payload validates");
+    assert_eq!(resumed.breaker_state(), Some(BreakerState::Open));
+    let report = resumed.run(&dataset, &stream);
+    assert_eq!(
+        format!("{report:?}"),
+        format!("{baseline:?}"),
+        "mid-outage resume diverged"
+    );
+}
+
+#[test]
+fn fleet_shards_run_their_own_fault_plans_and_resume_mid_outage() {
+    // Shard 0 rides the outage scenario, shard 1 stays clean: faults are
+    // per-shard state, and the shared pool must not leak one shard's
+    // outage into the other's crowd path.
+    let seeds = [7u64, 8];
+    let datasets: Vec<Dataset> = seeds.iter().map(|&s| dataset(s)).collect();
+    let streams: Vec<SensingCycleStream> = datasets
+        .iter()
+        .map(|d| SensingCycleStream::new(d, 8, 5))
+        .collect();
+    let specs = || {
+        vec![
+            ShardSpec::new(CrowdLearnConfig::paper(), faulted_config()),
+            ShardSpec::new(CrowdLearnConfig::paper(), runtime_config()),
+        ]
+    };
+    let budget = CrowdLearnConfig::paper().budget_cents * 2.0;
+    let mut fleet = FleetOrchestrator::new(specs(), FleetConfig::new(budget), &datasets);
+    fleet.attach_metrics_taps();
+    let baseline = fleet.run(&datasets, &streams);
+    assert!(
+        baseline.shards[0].posts_rejected > 0,
+        "the faulted shard must hit its outage"
+    );
+    assert_eq!(
+        baseline.shards[1].posts_rejected, 0,
+        "the clean shard must never see a refusal"
+    );
+
+    // Checkpoint the fleet mid-outage and finish from bytes.
+    let total = baseline.events_processed;
+    for cut in [total / 3, total / 2] {
+        let mut fleet = FleetOrchestrator::new(specs(), FleetConfig::new(budget), &datasets);
+        fleet.attach_metrics_taps();
+        assert!(fleet
+            .run_until(&datasets, &streams, RunBound::Events(cut))
+            .is_none());
+        let bytes = fleet.snapshot().expect("checkpointable").to_bytes();
+        let snapshot = FleetSnapshot::from_bytes(&bytes).expect("frame validates");
+        let mut resumed =
+            FleetOrchestrator::resume(&snapshot, &streams).expect("payload validates");
+        let report = resumed.run(&datasets, &streams);
+        assert_eq!(
+            format!("{report:?}"),
+            format!("{baseline:?}"),
+            "fleet resume from event boundary {cut}/{total} diverged"
+        );
+    }
+}
+
+/// SplitMix64 — a tiny seeded position generator for the corruption sweep.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a-64, re-derived in the test so the sweep can forge valid
+/// checksums over corrupted payloads (mirrors the runtime's frame hash).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn snapshot_decode_survives_a_seeded_corruption_sweep() {
+    // A mid-faulted-run checkpoint covers the richest payload: in-flight
+    // HITs (some lost), an open breaker, parked cycles, fault counters.
+    let dataset = dataset(7);
+    let stream = SensingCycleStream::new(&dataset, 8, 5);
+    let mut system = PipelinedSystem::new(&dataset, CrowdLearnConfig::paper(), faulted_config());
+    system.attach_metrics_tap(MetricsTap::new());
+    assert!(system
+        .run_until(&dataset, &stream, RunBound::VirtualTime(1_450.0))
+        .is_none());
+    let bytes = system.snapshot().expect("checkpointable").to_bytes();
+    const HEADER: usize = 8 + 4 + 8 + 8;
+
+    let mut rng = 0xC0FFEEu64;
+
+    // Raw single-bit flips anywhere in the frame: the magic, version,
+    // length, or checksum check must catch every one with a typed error.
+    for _ in 0..512 {
+        let pos = (splitmix64(&mut rng) as usize) % bytes.len();
+        let bit = (splitmix64(&mut rng) % 8) as u32;
+        let mut evil = bytes.clone();
+        evil[pos] ^= 1 << bit;
+        assert!(
+            RuntimeSnapshot::from_bytes(&evil).is_err(),
+            "flipped bit {bit} at byte {pos} slipped through the frame checks"
+        );
+    }
+
+    // Truncations at every kind of boundary: strictly shorter frames must
+    // always fail typed, never panic on a short read.
+    for _ in 0..128 {
+        let cut = (splitmix64(&mut rng) as usize) % bytes.len();
+        assert!(
+            RuntimeSnapshot::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes slipped through the frame checks"
+        );
+    }
+
+    // Checksum-repaired payload flips: the frame validates, so the payload
+    // decoders themselves face the corruption. Resume must return a typed
+    // result — `Ok` when the flip lands in a don't-care bit, a
+    // `SnapshotError` otherwise — and never panic.
+    let mut rejected = 0u32;
+    for _ in 0..256 {
+        let pos = HEADER + (splitmix64(&mut rng) as usize) % (bytes.len() - HEADER);
+        let bit = (splitmix64(&mut rng) % 8) as u32;
+        let mut evil = bytes.clone();
+        evil[pos] ^= 1 << bit;
+        let sum = fnv1a64(&evil[HEADER..]);
+        evil[20..28].copy_from_slice(&sum.to_le_bytes());
+        let snapshot = RuntimeSnapshot::from_bytes(&evil).expect("repaired frame validates");
+        if PipelinedSystem::resume(&snapshot, &stream).is_err() {
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected > 0,
+        "the sweep must actually reach the payload validators"
+    );
+}
+
+#[test]
+fn fleet_snapshot_decode_survives_a_seeded_corruption_sweep() {
+    let seeds = [7u64, 8];
+    let datasets: Vec<Dataset> = seeds.iter().map(|&s| dataset(s)).collect();
+    let streams: Vec<SensingCycleStream> = datasets
+        .iter()
+        .map(|d| SensingCycleStream::new(d, 8, 5))
+        .collect();
+    let specs = vec![
+        ShardSpec::new(CrowdLearnConfig::paper(), faulted_config()),
+        ShardSpec::new(CrowdLearnConfig::paper(), runtime_config()),
+    ];
+    let budget = CrowdLearnConfig::paper().budget_cents * 2.0;
+    let mut fleet = FleetOrchestrator::new(specs, FleetConfig::new(budget), &datasets);
+    fleet.attach_metrics_taps();
+    assert!(fleet
+        .run_until(&datasets, &streams, RunBound::Events(300))
+        .is_none());
+    let bytes = fleet.snapshot().expect("checkpointable").to_bytes();
+    const HEADER: usize = 8 + 4 + 8 + 8;
+
+    let mut rng = 0xF1EE7u64;
+    for _ in 0..512 {
+        let pos = (splitmix64(&mut rng) as usize) % bytes.len();
+        let bit = (splitmix64(&mut rng) % 8) as u32;
+        let mut evil = bytes.clone();
+        evil[pos] ^= 1 << bit;
+        assert!(
+            FleetSnapshot::from_bytes(&evil).is_err(),
+            "flipped bit {bit} at byte {pos} slipped through the fleet frame checks"
+        );
+    }
+    for _ in 0..128 {
+        let cut = (splitmix64(&mut rng) as usize) % bytes.len();
+        assert!(
+            FleetSnapshot::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes slipped through the fleet frame checks"
+        );
+    }
+    let mut rejected = 0u32;
+    for _ in 0..256 {
+        let pos = HEADER + (splitmix64(&mut rng) as usize) % (bytes.len() - HEADER);
+        let bit = (splitmix64(&mut rng) % 8) as u32;
+        let mut evil = bytes.clone();
+        evil[pos] ^= 1 << bit;
+        let sum = fnv1a64(&evil[HEADER..]);
+        evil[20..28].copy_from_slice(&sum.to_le_bytes());
+        let snapshot = FleetSnapshot::from_bytes(&evil).expect("repaired frame validates");
+        if FleetOrchestrator::resume(&snapshot, &streams).is_err() {
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected > 0,
+        "the sweep must actually reach the fleet payload validators"
+    );
+}
